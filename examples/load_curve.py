@@ -1,0 +1,61 @@
+"""Latency under load: open-loop curves for two cache policies.
+
+Closed-loop throughput says how fast one query runs after another;
+production cares where the latency knee sits when queries *arrive* on
+their own schedule.  This example measures per-query service times with
+the cache replay, then queue-simulates a range of offered loads.
+
+Run:  python examples/load_curve.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.config import CacheConfig, Policy
+from repro.workloads.openloop import collect_service_times, load_sweep
+from repro.workloads.sweep import make_log_for, make_scaled_index
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    index = make_scaled_index(500_000)
+    log = make_log_for(2_000, distinct_queries=600, seed=8)
+    print(f"{index.describe()}, {len(log)} queries\n")
+
+    curves = {}
+    capacity = None
+    for policy in (Policy.LRU, Policy.CBSLRU):
+        cfg = CacheConfig.paper_split(12 * MB, 48 * MB, policy=policy)
+        service = collect_service_times(index, log, cfg, warmup_queries=500,
+                                        static_analyze_queries=1000)
+        if capacity is None:
+            capacity = 1e6 / service.mean()
+            print(f"LRU closed-loop capacity: ~{capacity:.0f} queries/s")
+        rates = [capacity * f for f in (0.3, 0.6, 0.9, 1.2)]
+        curves[policy.value] = load_sweep(service, rates, seed=2)
+
+    rows = []
+    for i, frac in enumerate((0.3, 0.6, 0.9, 1.2)):
+        lru = curves["lru"][i]
+        cbs = curves["cbslru"][i]
+        rows.append([
+            f"{frac:.0%}",
+            lru.mean_response_us / 1000,
+            lru.p99_us / 1000,
+            "SATURATED" if lru.saturated else "ok",
+            cbs.mean_response_us / 1000,
+            cbs.p99_us / 1000,
+            "SATURATED" if cbs.saturated else "ok",
+        ])
+    print()
+    print(format_table(
+        ["load vs LRU cap", "LRU ms", "LRU p99", "LRU",
+         "CBSLRU ms", "CBSLRU p99", "CBSLRU"],
+        rows,
+        title="Open-loop latency (FIFO server, Poisson arrivals)",
+    ))
+    print("\nthe cost-based policy moves the saturation knee: the same "
+          "server absorbs offered load that melts the LRU configuration")
+
+
+if __name__ == "__main__":
+    main()

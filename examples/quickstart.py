@@ -1,0 +1,65 @@
+"""Quickstart: build a search engine, put the hybrid cache in front of it.
+
+Builds a 200k-document synthetic index, replays 2 000 queries through the
+paper's two-level cache (DRAM L1 + SSD L2, CBSLRU policy), and prints the
+hit ratios, response time and SSD wear the architecture delivers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CacheConfig,
+    CacheManager,
+    CorpusConfig,
+    InvertedIndex,
+    QueryLogConfig,
+    build_hierarchy_for,
+    generate_query_log,
+)
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    # 1. The substrate: a synthetic inverted index (stands in for the
+    #    paper's 5M-document enwiki/Lucene index).
+    index = InvertedIndex(CorpusConfig.paper_scale(200_000))
+    print(f"index: {index.describe()}")
+
+    # 2. A Zipf-repeated query stream (stands in for the AOL log).
+    log = generate_query_log(
+        QueryLogConfig(num_queries=2_000, distinct_queries=600,
+                       vocab_size=10_000, seed=1)
+    )
+    print(f"query log: {len(log)} queries, "
+          f"{log.distinct_fraction():.0%} distinct")
+
+    # 3. The paper's architecture: memory L1 + SSD L2 in front of the HDD.
+    cfg = CacheConfig.paper_split(mem_bytes=8 * MB, ssd_bytes=64 * MB)
+    hierarchy = build_hierarchy_for(cfg, index)
+    manager = CacheManager(cfg, hierarchy, index)
+    manager.warmup_static(log)  # CBSLRU: pin hot entries from log analysis
+
+    # 4. Replay.
+    for query in log:
+        manager.process_query(query)
+
+    # 5. What the cache did.
+    stats = manager.stats
+    print(f"\nresult hit ratio:   {stats.result_hit_ratio:.1%}")
+    print(f"list hit ratio:     {stats.list_hit_ratio:.1%}")
+    print(f"combined hit ratio: {stats.combined_hit_ratio:.1%}")
+    print(f"mean response:      {stats.mean_response_us / 1000:.2f} ms")
+    print(f"throughput:         {stats.throughput_qps:.1f} queries/s")
+    print(f"SSD block erasures: {manager.ssd.erase_count}")
+    wear = manager.ssd.wear()
+    print(f"SSD wear: max {wear.max_erases} erases/block, "
+          f"skew {wear.skew:.2f}")
+    print("\nTable I situations (probability, mean ms):")
+    for name, prob, ms in stats.situation_table():
+        if prob > 0:
+            print(f"  {name}: p={prob:.3f}  t={ms:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

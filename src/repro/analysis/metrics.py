@@ -1,0 +1,45 @@
+"""Fig. 3's two distributions, measured from a query log and an index.
+
+Fig. 3(a): inverted-list utilization rate, ranked descending.
+Fig. 3(b): term access frequency, ranked descending, against list size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.index import InvertedIndex
+from repro.engine.querylog import QueryLog
+
+__all__ = ["utilization_rate_series", "term_access_frequency_series"]
+
+
+def utilization_rate_series(
+    index: InvertedIndex, log: QueryLog | None = None
+) -> np.ndarray:
+    """Utilization rate (%) per term, ranked descending (Fig. 3a).
+
+    With a log, only queried terms are included (what a measurement of a
+    running engine would see); without one, the whole vocabulary.
+    """
+    if log is None:
+        util = index.stats.utilization
+    else:
+        terms = sorted(log.term_frequencies())
+        util = index.stats.utilization[np.array(terms, dtype=np.int64)]
+    return np.sort(util)[::-1] * 100.0
+
+
+def term_access_frequency_series(
+    index: InvertedIndex, log: QueryLog
+) -> tuple[np.ndarray, np.ndarray]:
+    """(access frequency, list size bytes) per queried term, by descending
+    frequency (Fig. 3b)."""
+    freqs = log.term_frequencies()
+    if not freqs:
+        raise ValueError("query log references no terms")
+    items = sorted(freqs.items(), key=lambda kv: -kv[1])
+    term_ids = np.array([t for t, _ in items], dtype=np.int64)
+    counts = np.array([c for _, c in items], dtype=np.int64)
+    sizes = index.stats.doc_freqs[term_ids] * 8
+    return counts, sizes

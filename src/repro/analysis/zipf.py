@@ -1,0 +1,31 @@
+"""Zipf-law fitting.
+
+Section III cites the Zipf-like distribution of term access frequencies
+[18]; the Fig. 3 bench verifies that the *measured* query stream actually
+has that property by fitting the rank-frequency slope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_zipf_exponent"]
+
+
+def fit_zipf_exponent(frequencies: np.ndarray, head_fraction: float = 0.5) -> float:
+    """Least-squares slope of log(freq) vs log(rank).
+
+    Returns the Zipf exponent s (positive for a decaying distribution).
+    Only the head of the ranking is fitted by default — the tail of any
+    finite sample flattens into noise and biases the slope.
+    """
+    freqs = np.sort(np.asarray(frequencies, dtype=np.float64))[::-1]
+    freqs = freqs[freqs > 0]
+    if freqs.size < 3:
+        raise ValueError("need at least 3 positive frequencies to fit")
+    if not 0.0 < head_fraction <= 1.0:
+        raise ValueError("head_fraction must be in (0, 1]")
+    n = max(3, int(freqs.size * head_fraction))
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    slope, _ = np.polyfit(np.log(ranks), np.log(freqs[:n]), deg=1)
+    return float(-slope)

@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+Four subcommands cover the common standalone uses of the library::
+
+    repro corpus   --docs 1000000                 # corpus statistics
+    repro trace    --requests 50000 --out t.spc   # synthetic trace + analysis
+    repro analyze  t.spc --format spc             # analyze an existing trace
+    repro run      --policy cbslru --queries 5000 # full cached retrieval run
+
+Install exposes ``repro`` as a console entry point; ``python -m
+repro.cli`` works without installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+MB = 1024 * 1024
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSD-based hybrid storage architecture for search engines "
+                    "(ICPP 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="generate and summarise a synthetic corpus")
+    p.add_argument("--docs", type=int, default=1_000_000)
+    p.add_argument("--vocab", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser("trace", help="generate a synthetic web-search trace")
+    p.add_argument("--requests", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--out", type=str, default=None,
+                   help="write the trace (format by extension: .spc, .csv "
+                        "(MSR), .dmn (DiskMon))")
+
+    p = sub.add_parser("analyze", help="analyze an I/O trace file")
+    p.add_argument("path", type=str)
+    p.add_argument("--format", choices=("spc", "msr", "diskmon"), default="spc")
+
+    p = sub.add_parser("run", help="run a cached retrieval experiment")
+    p.add_argument("--policy", choices=("lru", "cblru", "cbslru"),
+                   default="cbslru")
+    p.add_argument("--docs", type=int, default=1_000_000)
+    p.add_argument("--queries", type=int, default=4_000)
+    p.add_argument("--mem-mb", type=int, default=16)
+    p.add_argument("--ssd-mb", type=int, default=64)
+    p.add_argument("--ttl-ms", type=float, default=0.0,
+                   help="dynamic scenario: data TTL in milliseconds (0=static)")
+    p.add_argument("--three-level", action="store_true",
+                   help="enable the intersection cache (Long & Suel [19])")
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("compare",
+                       help="run all three policies and emit a markdown report")
+    p.add_argument("--docs", type=int, default=1_000_000)
+    p.add_argument("--queries", type=int, default=4_000)
+    p.add_argument("--mem-mb", type=int, default=16)
+    p.add_argument("--ssd-mb", type=int, default=64)
+    p.add_argument("--out", type=str, default=None,
+                   help="write the markdown report to a file")
+    p.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.engine.corpus import CorpusConfig, build_corpus_stats
+    from repro.engine.postings import POSTING_BYTES
+
+    stats = build_corpus_stats(
+        CorpusConfig(num_docs=args.docs, vocab_size=args.vocab,
+                     avg_doc_len=300, seed=args.seed)
+    )
+    sizes = stats.doc_freqs * POSTING_BYTES
+    rows = [
+        ["documents", f"{args.docs:,}"],
+        ["vocabulary", f"{args.vocab:,}"],
+        ["index size", f"{sizes.sum() / 1e6:.1f} MB"],
+        ["largest list", f"{sizes.max() / 1024:.0f} KB"],
+        ["median list", f"{np.median(sizes) / 1024:.1f} KB"],
+        ["mean utilization", f"{stats.utilization.mean():.1%}"],
+    ]
+    print(format_table(["metric", "value"], rows, title="corpus statistics"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace.analyzer import analyze_trace
+    from repro.trace.generator import WebSearchTraceConfig, generate_websearch_trace
+
+    trace = generate_websearch_trace(
+        WebSearchTraceConfig(num_requests=args.requests, seed=args.seed)
+    )
+    print(analyze_trace(trace).summary())
+    if args.out:
+        _write_by_extension(trace, args.out)
+        print(f"wrote {len(trace)} requests to {args.out}")
+    return 0
+
+
+def _write_by_extension(trace, path: str) -> None:
+    from repro.trace.diskmon import write_diskmon
+    from repro.trace.msr import write_msr
+    from repro.trace.umass import write_spc
+
+    if path.endswith(".spc"):
+        write_spc(trace, path)
+    elif path.endswith(".csv"):
+        write_msr(trace, path)
+    elif path.endswith(".dmn"):
+        write_diskmon(trace, path)
+    else:
+        raise SystemExit(f"unknown trace extension on {path!r} "
+                         "(want .spc, .csv or .dmn)")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.trace.analyzer import analyze_trace
+    from repro.trace.diskmon import parse_diskmon
+    from repro.trace.msr import parse_msr
+    from repro.trace.umass import parse_spc
+
+    parsers = {"spc": parse_spc, "msr": parse_msr, "diskmon": parse_diskmon}
+    trace = parsers[args.format](args.path)
+    print(analyze_trace(trace).summary())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.config import CacheConfig, Policy
+    from repro.core.intersections import ThreeLevelCacheManager
+    from repro.core.manager import CacheManager, build_hierarchy_for
+    from repro.workloads.sweep import make_log_for, make_scaled_index
+
+    index = make_scaled_index(args.docs)
+    log = make_log_for(args.queries, seed=args.seed)
+    cfg = CacheConfig.paper_split(
+        args.mem_mb * MB, args.ssd_mb * MB,
+        policy=Policy(args.policy),
+        ttl_us=args.ttl_ms * 1000.0,
+    )
+    hierarchy = build_hierarchy_for(cfg, index)
+    if args.three_level:
+        manager: CacheManager = ThreeLevelCacheManager(cfg, hierarchy, index)
+    else:
+        manager = CacheManager(cfg, hierarchy, index)
+    if cfg.policy is Policy.CBSLRU and cfg.uses_ssd:
+        manager.warmup_static(log)
+    for query in log:
+        manager.process_query(query)
+
+    stats = manager.stats
+    rows = [
+        ["queries", stats.queries],
+        ["result hit ratio", f"{stats.result_hit_ratio:.1%}"],
+        ["list hit ratio", f"{stats.list_hit_ratio:.1%}"],
+        ["combined hit ratio", f"{stats.combined_hit_ratio:.1%}"],
+        ["mean response", f"{stats.mean_response_us / 1000:.2f} ms"],
+        ["throughput", f"{stats.throughput_qps:.1f} q/s"],
+        ["SSD erasures", manager.ssd.erase_count if manager.ssd else 0],
+    ]
+    if args.ttl_ms > 0:
+        rows.append(["expired (results/lists)",
+                     f"{stats.expired_results}/{stats.expired_lists}"])
+    if args.three_level:
+        inter = manager.intersections  # type: ignore[attr-defined]
+        rows.append(["intersection hits", inter.hits])
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.policy.upper()} on {args.docs:,} docs"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.report import policy_comparison_report
+    from repro.core.config import CacheConfig, Policy
+    from repro.workloads.retrieval import run_cached
+    from repro.workloads.sweep import make_log_for, make_scaled_index
+
+    index = make_scaled_index(args.docs)
+    log = make_log_for(args.queries, seed=args.seed)
+    results = {}
+    for policy in (Policy.LRU, Policy.CBLRU, Policy.CBSLRU):
+        cfg = CacheConfig.paper_split(args.mem_mb * MB, args.ssd_mb * MB,
+                                      policy=policy)
+        results[policy.value] = run_cached(
+            index, log, cfg, static_analyze_queries=args.queries // 2
+        )
+    report = policy_comparison_report(
+        results, title=f"Policy comparison on {args.docs:,} docs"
+    )
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote report to {args.out}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "corpus": _cmd_corpus,
+        "trace": _cmd_trace,
+        "analyze": _cmd_analyze,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

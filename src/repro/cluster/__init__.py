@@ -1,0 +1,21 @@
+"""Sharded search cluster.
+
+The paper targets *large-scale* engines: collections are document-
+partitioned over many index servers behind a broker (the Google/TodoBR
+architecture its introduction cites), and the hybrid cache lives inside
+each server.  This subpackage models that deployment: per-shard
+:class:`~repro.core.manager.CacheManager` instances, a fan-out broker
+that merges top-k results, and cluster-level accounting (fan-out latency
+= slowest shard, aggregate cost, per-shard cache dilution).
+"""
+
+from repro.cluster.shard import IndexShard, partition_corpus
+from repro.cluster.broker import Broker, BrokerStats, ClusterOutcome
+
+__all__ = [
+    "IndexShard",
+    "partition_corpus",
+    "Broker",
+    "BrokerStats",
+    "ClusterOutcome",
+]

@@ -1,0 +1,175 @@
+"""The broker: query fan-out and top-k merging across shards.
+
+A query is broadcast to every shard in parallel; the broker's response
+time is the *slowest* shard's (fan-out max) plus a fixed merge cost.
+Each shard replies with its local top-k and the broker keeps the global
+best k — document partitioning makes this merge exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.shard import IndexShard
+from repro.core.config import CacheConfig, Policy
+from repro.engine.corpus import CorpusConfig
+from repro.engine.query import Query
+from repro.engine.querylog import QueryLog
+
+__all__ = ["ClusterOutcome", "BrokerStats", "Broker"]
+
+
+@dataclass(frozen=True)
+class ClusterOutcome:
+    """One query's cluster-level result."""
+
+    query: Query
+    #: fan-out latency: the slowest shard plus the broker merge
+    response_us: float
+    #: per-shard service times, indexed by shard id
+    shard_times_us: tuple[float, ...]
+    #: how many shards answered from their result caches (L1 or L2)
+    shard_result_hits: int
+
+
+@dataclass
+class BrokerStats:
+    queries: int = 0
+    total_response_us: float = 0.0
+    #: sum over queries of (max shard time - mean shard time): the price
+    #: of waiting for stragglers
+    straggler_us: float = 0.0
+    #: queries answered from the broker's own merged-result cache
+    broker_cache_hits: int = 0
+    per_shard_busy_us: list[float] = field(default_factory=list)
+
+    @property
+    def mean_response_us(self) -> float:
+        return self.total_response_us / self.queries if self.queries else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.total_response_us <= 0:
+            return 0.0
+        return self.queries / (self.total_response_us / 1e6)
+
+    @property
+    def mean_straggler_us(self) -> float:
+        return self.straggler_us / self.queries if self.queries else 0.0
+
+
+class Broker:
+    """Fans queries out to shards and accounts fan-out latency.
+
+    ``result_cache_entries`` > 0 enables a broker-level cache of merged
+    results (the natural cluster extension of result caching [16][17]):
+    a broker hit answers in ``broker_hit_us`` without touching any shard.
+    """
+
+    def __init__(
+        self,
+        shards: list[IndexShard],
+        merge_overhead_us: float = 200.0,
+        result_cache_entries: int = 0,
+        broker_hit_us: float = 50.0,
+    ) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate shard ids")
+        if merge_overhead_us < 0:
+            raise ValueError("merge_overhead_us cannot be negative")
+        if result_cache_entries < 0:
+            raise ValueError("result_cache_entries cannot be negative")
+        if broker_hit_us < 0:
+            raise ValueError("broker_hit_us cannot be negative")
+        self.shards = shards
+        self.merge_overhead_us = merge_overhead_us
+        self.result_cache_entries = result_cache_entries
+        self.broker_hit_us = broker_hit_us
+        from repro.core.lru import LruList
+
+        self._result_cache: LruList[tuple[int, ...], bool] = LruList()
+        self.stats = BrokerStats(per_shard_busy_us=[0.0] * len(shards))
+
+    @classmethod
+    def build(
+        cls,
+        corpus: CorpusConfig,
+        num_shards: int,
+        cache_config: CacheConfig,
+        merge_overhead_us: float = 200.0,
+    ) -> "Broker":
+        """Partition ``corpus`` and assemble a cluster of cached shards."""
+        from repro.cluster.shard import partition_corpus
+
+        partitions = partition_corpus(corpus, num_shards)
+        shards = [
+            IndexShard(i, stats, cache_config) for i, stats in enumerate(partitions)
+        ]
+        return cls(shards, merge_overhead_us=merge_overhead_us)
+
+    def warmup_static(self, log: QueryLog, analyze_queries: int | None = None) -> None:
+        for shard in self.shards:
+            shard.warmup_static(log, analyze_queries=analyze_queries)
+
+    def process_query(self, query: Query) -> ClusterOutcome:
+        """Broadcast one query; latency is max over shards + merge."""
+        if self.result_cache_entries > 0 and self._result_cache.get(query.key):
+            self._result_cache.touch(query.key)
+            self.stats.queries += 1
+            self.stats.total_response_us += self.broker_hit_us
+            self.stats.broker_cache_hits += 1
+            return ClusterOutcome(
+                query=query,
+                response_us=self.broker_hit_us,
+                shard_times_us=(),
+                shard_result_hits=0,
+            )
+        times: list[float] = []
+        hits = 0
+        for i, shard in enumerate(self.shards):
+            outcome = shard.process_query(query)
+            times.append(outcome.response_us)
+            self.stats.per_shard_busy_us[i] += outcome.response_us
+            if outcome.result_hit_level > 0:
+                hits += 1
+        slowest = max(times)
+        response = slowest + self.merge_overhead_us
+        self.stats.queries += 1
+        self.stats.total_response_us += response
+        self.stats.straggler_us += slowest - sum(times) / len(times)
+        if self.result_cache_entries > 0:
+            self._result_cache.insert(query.key, True)
+            while len(self._result_cache) > self.result_cache_entries:
+                self._result_cache.pop_lru()
+        return ClusterOutcome(
+            query=query,
+            response_us=response,
+            shard_times_us=tuple(times),
+            shard_result_hits=hits,
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def total_ssd_erases(self) -> int:
+        return sum(s.ssd_erase_count for s in self.shards)
+
+    def combined_hit_ratio(self) -> float:
+        """Request-weighted hit ratio across all shards."""
+        hits = lookups = 0
+        for shard in self.shards:
+            s = shard.stats
+            hits += (s.result_l1_hits + s.result_l2_hits
+                     + s.list_l1_hits + s.list_l2_hits)
+            lookups += s.result_lookups + s.list_lookups
+        return hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        docs = sum(s.index.num_docs for s in self.shards)
+        return f"Broker({self.num_shards} shards, {docs:,} docs total)"

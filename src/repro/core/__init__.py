@@ -1,0 +1,53 @@
+"""The paper's contribution: the SSD-based two-level cache architecture.
+
+* :mod:`repro.core.config` — capacities, policy knobs, the Table II/III
+  constants (result entry 20 KB, K = 50, SB = 128 KB, W = 5, ...).
+* :mod:`repro.core.selection` — data selection (Formula 1's SC, Formula
+  2's efficiency value EV, the TEV threshold).
+* :mod:`repro.core.placement` — data placement (write buffer, result
+  block (RB) assembly, block-aligned log layout on SSD).
+* :mod:`repro.core.replacement` — data replacement (LRU baseline, CBLRU's
+  working/replace-first regions with IREN and size-matched victims,
+  CBSLRU's static partition).
+* :mod:`repro.core.manager` — the cache manager of Fig. 2 (selection /
+  query / replacement management) orchestrating memory, SSD and HDD.
+"""
+
+from repro.core.config import CacheConfig, Policy, Scheme
+from repro.core.entries import CachedList, CachedResult, EntryState, ResultBlock
+from repro.core.lru import LruList
+from repro.core.selection import SelectionPolicy, efficiency_value, ssd_cache_blocks
+from repro.core.stats import CacheStats, Situation
+from repro.core.placement import WriteBuffer
+from repro.core.ssd_region import BlockRegion, ByteRegion
+from repro.core.intersections import (
+    IntersectionCache,
+    IntersectionEntry,
+    ThreeLevelCacheManager,
+)
+from repro.core.manager import CacheManager, QueryOutcome, build_hierarchy_for
+
+__all__ = [
+    "CacheConfig",
+    "Policy",
+    "Scheme",
+    "CachedList",
+    "CachedResult",
+    "EntryState",
+    "ResultBlock",
+    "LruList",
+    "SelectionPolicy",
+    "efficiency_value",
+    "ssd_cache_blocks",
+    "CacheStats",
+    "Situation",
+    "WriteBuffer",
+    "BlockRegion",
+    "ByteRegion",
+    "CacheManager",
+    "QueryOutcome",
+    "build_hierarchy_for",
+    "IntersectionCache",
+    "IntersectionEntry",
+    "ThreeLevelCacheManager",
+]

@@ -1,0 +1,84 @@
+"""An LRU list with a working region and a replace-first region.
+
+CBLRU (Figs. 11-13) splits the recency list: the *working region* holds
+the most recently used entries; the trailing *replace-first region* of
+window size W is where victims are searched first.  Built on an
+``OrderedDict`` so touch/insert/evict are O(1) and region iteration is
+O(W).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, TypeVar
+
+__all__ = ["LruList"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LruList(Generic[K, V]):
+    """Ordered key->value map; last = most recently used."""
+
+    def __init__(self, replace_window: int = 5) -> None:
+        if replace_window < 1:
+            raise ValueError("replace_window must be >= 1")
+        self._od: OrderedDict[K, V] = OrderedDict()
+        self.replace_window = replace_window
+
+    def __len__(self) -> int:
+        return len(self._od)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._od
+
+    def get(self, key: K) -> V | None:
+        """Look up without touching recency."""
+        return self._od.get(key)
+
+    def touch(self, key: K) -> V:
+        """Mark ``key`` most recently used and return its value."""
+        value = self._od[key]
+        self._od.move_to_end(key)
+        return value
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert (or replace) as most recently used."""
+        self._od[key] = value
+        self._od.move_to_end(key)
+
+    def pop(self, key: K) -> V:
+        return self._od.pop(key)
+
+    def pop_lru(self) -> tuple[K, V]:
+        """Remove and return the least recently used item."""
+        if not self._od:
+            raise KeyError("pop_lru on empty LruList")
+        return self._od.popitem(last=False)
+
+    def peek_lru(self) -> tuple[K, V]:
+        if not self._od:
+            raise KeyError("peek_lru on empty LruList")
+        key = next(iter(self._od))
+        return key, self._od[key]
+
+    def replace_first_region(self) -> list[tuple[K, V]]:
+        """The W least-recently-used items, LRU first (Fig. 11's RFR)."""
+        out: list[tuple[K, V]] = []
+        for key in self._od:
+            out.append((key, self._od[key]))
+            if len(out) >= self.replace_window:
+                break
+        return out
+
+    def items_lru_order(self) -> Iterator[tuple[K, V]]:
+        """All items, least recently used first (the Fig. 13 fallback scan)."""
+        for key in list(self._od):
+            yield key, self._od[key]
+
+    def keys(self) -> list[K]:
+        return list(self._od)
+
+    def clear(self) -> None:
+        self._od.clear()

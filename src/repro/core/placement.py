@@ -1,0 +1,65 @@
+"""Data placement: the write buffer and result-block assembly (Section VI.B).
+
+Result entries evicted from memory are not written to SSD one by one.
+They wait in a DRAM write buffer until a whole result block's worth has
+accumulated, then the assembled 128 KB RB is flushed with a single large
+sequential write (Fig. 10b).  Two rules reduce SSD traffic further:
+
+* an entry whose SSD copy is still present in REPLACEABLE state is
+  dropped from the buffer — the data is already on flash;
+* an entry that is referenced again while waiting is pulled back out
+  (it is hot after all).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.entries import CachedResult
+
+__all__ = ["WriteBuffer"]
+
+
+class WriteBuffer:
+    """DRAM staging area that assembles result entries into RBs."""
+
+    def __init__(self, entries_per_rb: int) -> None:
+        if entries_per_rb < 1:
+            raise ValueError("entries_per_rb must be >= 1")
+        self.entries_per_rb = entries_per_rb
+        self._pending: OrderedDict[tuple[int, ...], CachedResult] = OrderedDict()
+        self.flushes = 0
+        self.dropped_replaceable = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, query_key: tuple[int, ...]) -> bool:
+        return query_key in self._pending
+
+    def add(self, entry: CachedResult, already_on_ssd: bool) -> list[CachedResult] | None:
+        """Stage an evicted entry; return a full RB batch when ready.
+
+        ``already_on_ssd`` signals that a REPLACEABLE copy still exists in
+        the SSD mapping, so no rewrite is needed (Section VI.C.1).
+        """
+        if already_on_ssd:
+            self.dropped_replaceable += 1
+            return None
+        self._pending[entry.query_key] = entry
+        if len(self._pending) >= self.entries_per_rb:
+            batch = [self._pending.popitem(last=False)[1]
+                     for _ in range(self.entries_per_rb)]
+            self.flushes += 1
+            return batch
+        return None
+
+    def take(self, query_key: tuple[int, ...]) -> CachedResult | None:
+        """Pull an entry back out (it was referenced while staged)."""
+        return self._pending.pop(query_key, None)
+
+    def drain(self) -> list[CachedResult]:
+        """Remove and return everything staged (shutdown / flush-now)."""
+        out = list(self._pending.values())
+        self._pending.clear()
+        return out

@@ -1,0 +1,150 @@
+"""Posting-list compression: d-gaps + variable-byte encoding.
+
+Index compression is one of the throughput techniques the paper's
+introduction lists alongside caching, and it is what Lucene actually
+stores (vInt-coded deltas).  The codec here serialises a frequency-sorted
+posting list into the byte layout a real index file would have:
+
+* postings are stored as (doc-gap, tf) pairs within descending-tf runs —
+  inside one tf run doc ids ascend, so gaps stay small;
+* both fields are variable-byte coded (7 data bits per byte, high bit =
+  continuation).
+
+``encoded_size`` gives the exact on-disk size without materialising the
+bytes, which lets the layout use realistic compressed extents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.postings import PostingList
+
+__all__ = [
+    "varbyte_encode",
+    "varbyte_decode",
+    "encode_posting_list",
+    "decode_posting_list",
+    "encoded_size",
+    "estimate_compressed_list_bytes",
+]
+
+
+def varbyte_encode(values: np.ndarray) -> bytes:
+    """Variable-byte encode an array of non-negative integers."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 0:
+        raise ValueError("varbyte cannot encode negative values")
+    out = bytearray()
+    for v in values.tolist():
+        while True:
+            byte = v & 0x7F
+            v >>= 7
+            if v:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def varbyte_decode(data: bytes, count: int | None = None) -> np.ndarray:
+    """Decode a variable-byte stream; ``count`` bounds the output length."""
+    values: list[int] = []
+    current = 0
+    shift = 0
+    for byte in data:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+            if shift > 63:
+                raise ValueError("varbyte run exceeds 64 bits (corrupt stream)")
+        else:
+            values.append(current)
+            current = 0
+            shift = 0
+            if count is not None and len(values) >= count:
+                break
+    else:
+        if shift != 0:
+            raise ValueError("truncated varbyte stream")
+    return np.array(values, dtype=np.int64)
+
+
+def _gaps_within_tf_runs(plist: PostingList) -> np.ndarray:
+    """Doc-gap transform: within each equal-tf run, ascending doc ids are
+    replaced by deltas (first of a run keeps its absolute id)."""
+    doc_ids = plist.doc_ids
+    if doc_ids.size == 0:
+        return doc_ids.copy()
+    gaps = doc_ids.copy()
+    tfs = plist.tfs
+    same_run = np.zeros(doc_ids.size, dtype=bool)
+    same_run[1:] = tfs[1:] == tfs[:-1]
+    gaps[same_run] = doc_ids[same_run] - np.where(
+        same_run, np.concatenate([[0], doc_ids[:-1]]), 0
+    )[same_run]
+    return gaps
+
+
+def encode_posting_list(plist: PostingList) -> bytes:
+    """Serialise a frequency-sorted posting list."""
+    gaps = _gaps_within_tf_runs(plist)
+    interleaved = np.empty(2 * len(plist), dtype=np.int64)
+    interleaved[0::2] = gaps
+    interleaved[1::2] = plist.tfs
+    header = varbyte_encode(np.array([plist.term_id, len(plist)]))
+    return header + varbyte_encode(interleaved)
+
+
+def decode_posting_list(data: bytes) -> PostingList:
+    """Inverse of :func:`encode_posting_list`."""
+    header = varbyte_decode(data, count=2)
+    if header.size < 2:
+        raise ValueError("truncated posting-list header")
+    term_id, n = int(header[0]), int(header[1])
+    # Re-decode the whole stream and skip the two header values.
+    values = varbyte_decode(data, count=2 + 2 * n)
+    if values.size < 2 + 2 * n:
+        raise ValueError("truncated posting-list payload")
+    body = values[2:]
+    gaps = body[0::2]
+    tfs = body[1::2].astype(np.int32)
+    # Undo the in-run delta transform.
+    doc_ids = gaps.copy()
+    for i in range(1, n):
+        if tfs[i] == tfs[i - 1]:
+            doc_ids[i] = doc_ids[i - 1] + gaps[i]
+    return PostingList(term_id, doc_ids, tfs)
+
+
+def estimate_compressed_list_bytes(
+    doc_freqs: np.ndarray, num_docs: int, mean_tf: float = 2.2
+) -> np.ndarray:
+    """Analytic per-term compressed sizes for a statistical index.
+
+    Mean doc-gap within a list of df postings is ~num_docs/df, so the
+    gap field costs ``ceil(bits(num_docs/df)/7)`` bytes and the tf field
+    ~1 byte (tf is small).  Matches :func:`encoded_size` to within a few
+    percent on generated lists.
+    """
+    if num_docs <= 0:
+        raise ValueError("num_docs must be positive")
+    df = np.asarray(doc_freqs, dtype=np.float64)
+    if (df < 1).any():
+        raise ValueError("doc_freqs must be >= 1")
+    mean_gap = np.maximum(1.0, num_docs / df)
+    gap_bytes = np.floor(np.log2(mean_gap)) // 7 + 1
+    tf_bytes = np.floor(np.log2(max(1.0, mean_tf))) // 7 + 1
+    return (df * (gap_bytes + tf_bytes)).astype(np.int64) + 2  # +2 header
+
+
+def encoded_size(plist: PostingList) -> int:
+    """Exact byte size of :func:`encode_posting_list` output."""
+    def vb_len(values: np.ndarray) -> int:
+        values = np.maximum(np.asarray(values, dtype=np.int64), 1)
+        return int(np.sum(np.floor(np.log2(values)) // 7 + 1))
+
+    gaps = _gaps_within_tf_runs(plist)
+    header = vb_len(np.array([max(1, plist.term_id), max(1, len(plist))]))
+    return header + vb_len(gaps) + vb_len(plist.tfs)

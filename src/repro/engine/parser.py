@@ -1,0 +1,49 @@
+"""Query parsing: text in, :class:`~repro.engine.query.Query` out.
+
+A minimal front-end matching what the paper's query preprocessor (Fig. 2)
+does before the cache manager sees a query: tokenise, normalise case,
+drop unknown words, deduplicate.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.engine.lexicon import Lexicon
+from repro.engine.query import Query
+
+__all__ = ["QueryParser"]
+
+
+class QueryParser:
+    """Turns query strings into term-id queries against a lexicon."""
+
+    def __init__(self, lexicon: Lexicon, max_terms: int = 16) -> None:
+        if max_terms < 1:
+            raise ValueError("max_terms must be >= 1")
+        self.lexicon = lexicon
+        self.max_terms = max_terms
+        self._next_id = itertools.count()
+
+    def parse(self, text: str, query_id: int | None = None) -> Query:
+        """Parse ``text``; raises ValueError if no known term survives."""
+        terms: list[int] = []
+        seen: set[int] = set()
+        for token in text.lower().split():
+            token = token.strip(".,;:!?\"'()[]")
+            if not token:
+                continue
+            try:
+                term_id = self.lexicon.lookup(token)
+            except KeyError:
+                continue  # out-of-vocabulary tokens are dropped
+            if term_id not in seen:
+                seen.add(term_id)
+                terms.append(term_id)
+            if len(terms) >= self.max_terms:
+                break
+        if not terms:
+            raise ValueError(f"no known terms in query {text!r}")
+        if query_id is None:
+            query_id = next(self._next_id)
+        return Query(query_id=query_id, terms=tuple(terms), text=text)

@@ -1,0 +1,33 @@
+"""Query representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A user query: an ordered tuple of term ids.
+
+    ``key`` (the canonical form used for result-cache lookup) treats
+    queries as bags of terms, matching how result caches key on the
+    normalised query string.
+    """
+
+    query_id: int
+    terms: tuple[int, ...]
+    text: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("a query must contain at least one term")
+
+    @property
+    def key(self) -> tuple[int, ...]:
+        """Canonical cache key: sorted unique term ids."""
+        return tuple(sorted(set(self.terms)))
+
+    def __len__(self) -> int:
+        return len(self.terms)

@@ -1,0 +1,45 @@
+"""Search results and result-cache entries.
+
+The paper caches the complete top-K result page of a query: K = 50
+documents of ~400 B each (URL, snippet, date, ...), so one result entry is
+~20 KB — small and near-constant, which is why result entries get the
+fixed-length cache treatment (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SearchResult", "ResultEntry", "DEFAULT_TOP_K", "DOC_SUMMARY_BYTES"]
+
+DEFAULT_TOP_K = 50
+DOC_SUMMARY_BYTES = 400
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One scored document."""
+
+    doc_id: int
+    score: float
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """The cached top-K answer to one query."""
+
+    query_key: tuple[int, ...]
+    results: tuple[SearchResult, ...] = field(repr=False)
+    top_k: int = DEFAULT_TOP_K
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size: one summary record per requested slot.
+
+        The paper treats result entries as fixed-length (~20 KB for K=50),
+        so size is K * 400 B regardless of how many hits actually scored.
+        """
+        return self.top_k * DOC_SUMMARY_BYTES
+
+    def __len__(self) -> int:
+        return len(self.results)

@@ -1,0 +1,127 @@
+"""Flash translation layer interface and shared machinery.
+
+An FTL maps *logical page numbers* (lpn) onto physical NAND pages and hides
+erase-before-write.  All FTLs here expose the same three operations —
+``read``, ``write``, ``trim`` — each returning the **service time in
+microseconds**, so the SSD front-end can charge a virtual clock without
+knowing which FTL is installed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.constants import FlashConfig
+from repro.flash.gc import GreedyVictimPolicy, VictimPolicy
+from repro.flash.nand import NandArray
+
+__all__ = ["FtlStats", "FTL"]
+
+
+@dataclass
+class FtlStats:
+    """Operation counters split by origin (host vs background)."""
+
+    host_page_reads: int = 0
+    host_page_writes: int = 0
+    gc_page_reads: int = 0
+    gc_page_writes: int = 0
+    block_erases: int = 0
+    trimmed_pages: int = 0
+    translation_page_reads: int = 0
+    translation_page_writes: int = 0
+    full_merges: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_page_writes(self) -> int:
+        return self.host_page_writes + self.gc_page_writes + self.translation_page_writes
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical page writes per host page write (1.0 = no amplification)."""
+        if self.host_page_writes == 0:
+            return 0.0
+        return self.total_page_writes / self.host_page_writes
+
+
+class FTL(ABC):
+    """Base class: owns the NAND array, free-block pool and GC plumbing."""
+
+    def __init__(
+        self,
+        config: FlashConfig,
+        victim_policy: VictimPolicy | None = None,
+    ) -> None:
+        self.config = config
+        self.nand = NandArray(config)
+        self.victim_policy = victim_policy or GreedyVictimPolicy()
+        self.stats = FtlStats()
+        self.num_lpns = config.logical_pages
+        # Free-block pool: every block starts free.
+        self._free_blocks: list[int] = list(range(config.num_blocks - 1, -1, -1))
+        self._now_us = 0.0  # advanced by the SSD front-end for age-based policies
+
+    # -- host interface ------------------------------------------------------
+
+    @abstractmethod
+    def read(self, lpn: int) -> float:
+        """Read one logical page; return service time in us."""
+
+    @abstractmethod
+    def write(self, lpn: int) -> float:
+        """Write one logical page; return service time in us."""
+
+    @abstractmethod
+    def trim(self, lpn: int) -> float:
+        """Discard one logical page (TRIM); return service time in us."""
+
+    def set_time(self, now_us: float) -> None:
+        """Inform the FTL of current simulated time (for age-based GC)."""
+        self._now_us = now_us
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.num_lpns:
+            raise IndexError(f"lpn {lpn} out of range [0, {self.num_lpns})")
+
+    # -- free-block pool -------------------------------------------------------
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free_blocks)
+
+    def _take_free_block(self) -> int:
+        if not self._free_blocks:
+            raise RuntimeError(
+                "NAND out of free blocks — over-provisioning too small or GC broken"
+            )
+        return self._free_blocks.pop()
+
+    def _release_block(self, block: int) -> None:
+        self._free_blocks.append(block)
+
+    def _gc_candidates(self, exclude: set[int]) -> np.ndarray:
+        """Fully- or partially-written blocks eligible as GC victims."""
+        used = np.nonzero(self.nand.write_ptrs > 0)[0]
+        if exclude:
+            mask = ~np.isin(used, list(exclude))
+            used = used[mask]
+        # Only blocks with at least one invalid page are worth reclaiming.
+        return used[self.nand.invalid_counts[used] > 0]
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def erase_count_total(self) -> int:
+        return int(self.nand.erase_counts.sum())
+
+    def utilization(self) -> float:
+        """Fraction of logical pages currently mapped (0..1)."""
+        return self.mapped_lpn_count() / self.num_lpns
+
+    @abstractmethod
+    def mapped_lpn_count(self) -> int:
+        """Number of logical pages with live data."""

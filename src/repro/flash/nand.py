@@ -1,0 +1,232 @@
+"""Physical NAND array model.
+
+Enforces the invariants FTLs must respect:
+
+* a page can only be **programmed** when FREE (erase-before-write);
+* pages within a block are programmed **sequentially** (NAND constraint);
+* **erase** operates on whole blocks and increments the block's wear count.
+
+The array tracks page states and per-block valid/invalid counts with numpy
+arrays so garbage-collection victim scans stay O(num_blocks) vectorised
+operations instead of Python loops.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+from repro.flash.constants import FlashConfig
+
+__all__ = ["PageState", "NandArray"]
+
+
+class PageState(IntEnum):
+    """Lifecycle of a physical page: FREE -> VALID -> INVALID -> (erase) FREE."""
+
+    FREE = 0
+    VALID = 1
+    INVALID = 2
+
+
+class NandArray:
+    """A flat array of erase blocks, each holding ``pages_per_block`` pages.
+
+    Physical page numbers (ppn) are ``block * pages_per_block + offset``.
+    The array is purely a state machine — latency accounting lives in the
+    FTL/SSD layers so alternative timing models can reuse it.
+    """
+
+    def __init__(self, config: FlashConfig) -> None:
+        self.config = config
+        n_blocks = config.num_blocks
+        ppb = config.pages_per_block
+        self._state = np.full(n_blocks * ppb, PageState.FREE, dtype=np.uint8)
+        # next page offset to program in each block (sequential-program rule)
+        self._write_ptr = np.zeros(n_blocks, dtype=np.int32)
+        self._valid_count = np.zeros(n_blocks, dtype=np.int32)
+        self._invalid_count = np.zeros(n_blocks, dtype=np.int32)
+        self.erase_counts = np.zeros(n_blocks, dtype=np.int64)
+        self.programs = 0
+        self.reads = 0
+        self.erases = 0
+
+    # -- geometry helpers --------------------------------------------------
+
+    def block_of(self, ppn: int) -> int:
+        return ppn // self.config.pages_per_block
+
+    def offset_of(self, ppn: int) -> int:
+        return ppn % self.config.pages_per_block
+
+    def _check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.config.total_pages:
+            raise IndexError(f"ppn {ppn} out of range [0, {self.config.total_pages})")
+
+    # -- state queries -----------------------------------------------------
+
+    def state(self, ppn: int) -> PageState:
+        self._check_ppn(ppn)
+        return PageState(self._state[ppn])
+
+    def valid_count(self, block: int) -> int:
+        return int(self._valid_count[block])
+
+    def invalid_count(self, block: int) -> int:
+        return int(self._invalid_count[block])
+
+    def free_pages_in(self, block: int) -> int:
+        return self.config.pages_per_block - int(self._write_ptr[block])
+
+    def is_block_free(self, block: int) -> bool:
+        """True when the block has never been programmed since its last erase."""
+        return self._write_ptr[block] == 0
+
+    @property
+    def valid_counts(self) -> np.ndarray:
+        """Per-block valid-page counts (read-only view for victim policies)."""
+        return self._valid_count
+
+    @property
+    def invalid_counts(self) -> np.ndarray:
+        return self._invalid_count
+
+    @property
+    def write_ptrs(self) -> np.ndarray:
+        return self._write_ptr
+
+    # -- operations ----------------------------------------------------------
+
+    def read_page(self, ppn: int) -> None:
+        """Read a page.  Reading FREE pages is rejected — it indicates an FTL bug."""
+        self._check_ppn(ppn)
+        if self._state[ppn] == PageState.FREE:
+            raise RuntimeError(f"read of unwritten (FREE) page ppn={ppn}")
+        self.reads += 1
+
+    def program_page(self, block: int) -> int:
+        """Program the next sequential page of ``block``; return its ppn.
+
+        Raises if the block is full — callers must allocate a new active
+        block instead.
+        """
+        ptr = int(self._write_ptr[block])
+        if ptr >= self.config.pages_per_block:
+            raise RuntimeError(f"program on full block {block}")
+        ppn = block * self.config.pages_per_block + ptr
+        assert self._state[ppn] == PageState.FREE, "sequential-program invariant broken"
+        self._state[ppn] = PageState.VALID
+        self._write_ptr[block] = ptr + 1
+        self._valid_count[block] += 1
+        self.programs += 1
+        return ppn
+
+    def program_page_at(self, block: int, offset: int) -> int:
+        """Program the page at a fixed ``offset`` of ``block``; return its ppn.
+
+        Block-mapped and hybrid FTLs place pages at offsets equal to their
+        logical in-block offset, which requires out-of-order programming —
+        permitted on the SLC parts assumed by that literature [7].  After
+        this call ``_write_ptr`` counts *programmed pages*, so a block must
+        not mix :meth:`program_page` and :meth:`program_page_at`.
+        """
+        if not 0 <= offset < self.config.pages_per_block:
+            raise IndexError(f"offset {offset} out of range")
+        ppn = block * self.config.pages_per_block + offset
+        if self._state[ppn] != PageState.FREE:
+            raise RuntimeError(f"program of non-FREE page ppn={ppn}")
+        self._state[ppn] = PageState.VALID
+        self._write_ptr[block] += 1
+        self._valid_count[block] += 1
+        self.programs += 1
+        return ppn
+
+    def program_run(self, block: int, count: int) -> np.ndarray:
+        """Program ``count`` sequential pages of ``block``; return their ppns.
+
+        Vectorised batch variant of :meth:`program_page` for span writes.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        ptr = int(self._write_ptr[block])
+        if ptr + count > self.config.pages_per_block:
+            raise RuntimeError(f"program_run overflows block {block}")
+        lo = block * self.config.pages_per_block + ptr
+        ppns = np.arange(lo, lo + count, dtype=np.int64)
+        self._state[ppns] = PageState.VALID
+        self._write_ptr[block] = ptr + count
+        self._valid_count[block] += count
+        self.programs += count
+        return ppns
+
+    def invalidate_pages(self, ppns: np.ndarray) -> None:
+        """Vectorised invalidate of many VALID pages (may repeat blocks)."""
+        if ppns.size == 0:
+            return
+        if (self._state[ppns] != PageState.VALID).any():
+            raise RuntimeError("invalidate_pages on non-VALID page(s)")
+        self._state[ppns] = PageState.INVALID
+        blocks = ppns // self.config.pages_per_block
+        np.subtract.at(self._valid_count, blocks, 1)
+        np.add.at(self._invalid_count, blocks, 1)
+
+    def read_pages(self, ppns: np.ndarray) -> None:
+        """Vectorised read of many non-FREE pages."""
+        if ppns.size == 0:
+            return
+        if (self._state[ppns] == PageState.FREE).any():
+            raise RuntimeError("read of unwritten (FREE) page in span")
+        self.reads += int(ppns.size)
+
+    def invalidate_page(self, ppn: int) -> None:
+        """Mark a VALID page INVALID (e.g. its logical page was overwritten)."""
+        self._check_ppn(ppn)
+        if self._state[ppn] != PageState.VALID:
+            raise RuntimeError(f"invalidate of non-VALID page ppn={ppn} "
+                               f"(state={PageState(self._state[ppn]).name})")
+        block = self.block_of(ppn)
+        self._state[ppn] = PageState.INVALID
+        self._valid_count[block] -= 1
+        self._invalid_count[block] += 1
+
+    def erase_block(self, block: int) -> None:
+        """Erase a whole block: all pages return to FREE, wear count +1.
+
+        Erasing a block that still holds VALID pages is rejected; the FTL
+        must migrate them first.
+        """
+        if not 0 <= block < self.config.num_blocks:
+            raise IndexError(f"block {block} out of range")
+        if self._valid_count[block] != 0:
+            raise RuntimeError(
+                f"erase of block {block} with {self._valid_count[block]} valid pages"
+            )
+        lo = block * self.config.pages_per_block
+        hi = lo + self.config.pages_per_block
+        self._state[lo:hi] = PageState.FREE
+        self._write_ptr[block] = 0
+        self._invalid_count[block] = 0
+        self.erase_counts[block] += 1
+        self.erases += 1
+
+    def valid_ppns_in(self, block: int) -> list[int]:
+        """Physical page numbers of all VALID pages in ``block``."""
+        lo = block * self.config.pages_per_block
+        hi = lo + self.config.pages_per_block
+        local = np.nonzero(self._state[lo:hi] == PageState.VALID)[0]
+        return [int(lo + off) for off in local]
+
+    def check_invariants(self) -> None:
+        """Verify the state arrays agree (used by property tests)."""
+        ppb = self.config.pages_per_block
+        states = self._state.reshape(self.config.num_blocks, ppb)
+        valid = (states == PageState.VALID).sum(axis=1)
+        invalid = (states == PageState.INVALID).sum(axis=1)
+        used = (states != PageState.FREE).sum(axis=1)
+        if not np.array_equal(valid, self._valid_count):
+            raise AssertionError("valid_count out of sync with page states")
+        if not np.array_equal(invalid, self._invalid_count):
+            raise AssertionError("invalid_count out of sync with page states")
+        if not np.array_equal(used, self._write_ptr):
+            raise AssertionError("write pointers out of sync with page states")

@@ -1,0 +1,193 @@
+"""Sector-addressed SSD device built on a pluggable FTL.
+
+This is the component the rest of the system talks to: the cache manager's
+L2 store, the "index on SSD" configuration of Fig. 15/16/18, and the
+trace-replay target.  It converts (lba, nbytes) host requests into per-page
+FTL operations, accumulates service time on a virtual clock, and exposes
+the erase-count and mean-access-time series plotted in Fig. 19.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.flash.constants import SECTOR_BYTES, FlashConfig
+from repro.flash.ftl_base import FTL
+from repro.flash.ftl_block import BlockMappingFTL
+from repro.flash.ftl_dftl import DFTL
+from repro.flash.ftl_fast import FastFTL
+from repro.flash.ftl_page import PageMappingFTL
+from repro.flash.wear import WearReport, wear_report
+from repro.sim.clock import VirtualClock
+from repro.sim.counters import CounterSet
+
+__all__ = ["SimulatedSSD", "FTL_FACTORIES"]
+
+FTL_FACTORIES: dict[str, Callable[[FlashConfig], FTL]] = {
+    "page": PageMappingFTL,
+    "block": BlockMappingFTL,
+    "fast": FastFTL,
+    "dftl": DFTL,
+}
+
+
+class SimulatedSSD:
+    """A block device: page-granular FTL behind a 512 B-sector interface.
+
+    Parameters
+    ----------
+    config:
+        Flash geometry/timing (defaults to the paper's Table III).
+    ftl:
+        Either an :class:`~repro.flash.ftl_base.FTL` instance or one of the
+        factory names ``page`` (paper baseline), ``block``, ``fast``,
+        ``dftl``.
+    clock:
+        Virtual clock to charge; a private one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        config: FlashConfig | None = None,
+        ftl: FTL | str = "page",
+        clock: VirtualClock | None = None,
+        name: str = "ssd",
+    ) -> None:
+        self.config = config or FlashConfig()
+        if isinstance(ftl, str):
+            try:
+                factory = FTL_FACTORIES[ftl]
+            except KeyError:
+                raise ValueError(
+                    f"unknown FTL {ftl!r}; choose from {sorted(FTL_FACTORIES)}"
+                ) from None
+            self.ftl = factory(self.config)
+        else:
+            if ftl.config is not self.config and ftl.config != self.config:
+                raise ValueError("FTL was built with a different FlashConfig")
+            self.ftl = ftl
+        self.clock = clock or VirtualClock()
+        self.name = name
+        self.counters = CounterSet()
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """User-visible capacity."""
+        return self.config.logical_bytes
+
+    @property
+    def num_sectors(self) -> int:
+        return self.config.logical_sectors
+
+    # -- host I/O --------------------------------------------------------------
+
+    def _page_span(self, lba: int, nbytes: int) -> range:
+        """Logical page numbers touched by ``nbytes`` starting at sector ``lba``."""
+        if lba < 0 or nbytes <= 0:
+            raise ValueError(f"invalid request lba={lba} nbytes={nbytes}")
+        start_byte = lba * SECTOR_BYTES
+        end_byte = start_byte + nbytes
+        if end_byte > self.capacity_bytes:
+            raise ValueError(
+                f"request [{start_byte}, {end_byte}) exceeds capacity "
+                f"{self.capacity_bytes}"
+            )
+        first = start_byte // self.config.page_bytes
+        last = (end_byte - 1) // self.config.page_bytes
+        return range(first, last + 1)
+
+    def read(self, lba: int, nbytes: int) -> float:
+        """Read ``nbytes`` at sector ``lba``; returns service time in us."""
+        self.ftl.set_time(self.clock.now_us)
+        pages = self._page_span(lba, nbytes)
+        read_span = getattr(self.ftl, "read_span", None)
+        if read_span is not None:
+            latency = read_span(pages.start, len(pages))
+        else:
+            latency = 0.0
+            for lpn in pages:
+                latency += self.ftl.read(lpn)
+        self.counters.add("read_ops", nbytes)
+        self.counters.add("read_pages", 0.0, n=len(pages))
+        self.counters.add("access_time_us", latency)
+        self.clock.advance(latency)
+        self.clock.charge(self.name, latency)
+        return latency
+
+    def write(self, lba: int, nbytes: int) -> float:
+        """Write ``nbytes`` at sector ``lba``; returns service time in us."""
+        self.ftl.set_time(self.clock.now_us)
+        pages = self._page_span(lba, nbytes)
+        write_span = getattr(self.ftl, "write_span", None)
+        if write_span is not None:
+            latency = write_span(pages.start, len(pages))
+        else:
+            latency = 0.0
+            for lpn in pages:
+                latency += self.ftl.write(lpn)
+        self.counters.add("write_ops", nbytes)
+        self.counters.add("write_pages", 0.0, n=len(pages))
+        self.counters.add("access_time_us", latency)
+        self.clock.advance(latency)
+        self.clock.charge(self.name, latency)
+        return latency
+
+    def trim(self, lba: int, nbytes: int) -> float:
+        """TRIM ``nbytes`` at sector ``lba``.  Partial pages are kept."""
+        self.ftl.set_time(self.clock.now_us)
+        start_byte = lba * SECTOR_BYTES
+        end_byte = start_byte + nbytes
+        # Only whole pages strictly inside the range may be discarded.
+        first = -(-start_byte // self.config.page_bytes)
+        last = end_byte // self.config.page_bytes
+        latency = 0.0
+        if last > first:
+            trim_span = getattr(self.ftl, "trim_span", None)
+            if trim_span is not None:
+                latency = trim_span(first, last - first)
+            else:
+                for lpn in range(first, last):
+                    latency += self.ftl.trim(lpn)
+        self.counters.add("trim_ops", nbytes)
+        self.counters.add("access_time_us", latency)
+        self.clock.advance(latency)
+        self.clock.charge(self.name, latency)
+        return latency
+
+    def idle_collect(self, budget_us: float) -> float:
+        """Run background GC during host idle time.
+
+        The time is charged to the ``<name>-bg`` busy channel but does
+        not advance the clock: it overlaps with host think time.  Erase
+        wear is accounted normally.  Returns the idle time consumed
+        (0.0 when the installed FTL has no background GC).
+        """
+        self.ftl.set_time(self.clock.now_us)
+        bg = getattr(self.ftl, "background_collect", None)
+        if bg is None:
+            return 0.0
+        used = bg(budget_us)
+        self.counters.add("bg_gc_us", used)
+        self.clock.charge(f"{self.name}-bg", used)
+        return used
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def erase_count(self) -> int:
+        """Total block erasures so far (Fig. 19a's y-axis)."""
+        return self.ftl.erase_count_total
+
+    @property
+    def mean_access_time_us(self) -> float:
+        """Mean service time per host op so far (Fig. 19b's y-axis)."""
+        return self.counters["access_time_us"].mean
+
+    def wear(self, endurance_cycles: int = 5000) -> WearReport:
+        return wear_report(self.ftl.nand.erase_counts, endurance_cycles)
+
+    def reset_counters(self) -> None:
+        """Zero host-op counters (erase counts and mappings persist)."""
+        self.counters.reset()

@@ -1,0 +1,13 @@
+"""Mechanical hard-disk simulator.
+
+Replaces the paper's WDC WD3200AAJS test disk with a seek + rotation +
+transfer latency model over a flat LBA space.  Random reads pay a
+distance-dependent seek plus rotational latency; sequential reads stream at
+the sustained transfer rate — the asymmetry that makes search-engine I/O
+(random, skipped reads; Section III) slow on HDD and motivates the paper.
+"""
+
+from repro.hdd.geometry import DiskGeometry
+from repro.hdd.disk import SimulatedHDD
+
+__all__ = ["DiskGeometry", "SimulatedHDD"]

@@ -1,0 +1,107 @@
+"""Sector-addressed HDD device model.
+
+Tracks head position so that sequential requests stream while random
+requests pay seek + rotational latency.  Deterministic by default (expected
+half-rotation); pass an ``rng`` for sampled rotational delays when latency
+*distributions* matter (e.g. trace studies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdd.geometry import SECTOR_BYTES, DiskGeometry
+from repro.sim.clock import VirtualClock
+from repro.sim.counters import CounterSet
+
+__all__ = ["SimulatedHDD"]
+
+#: Requests that continue within this many sectors of the previous request's
+#: end are treated as sequential (track buffer / read-ahead absorbs them).
+_SEQUENTIAL_SLACK_SECTORS = 256
+
+
+class SimulatedHDD:
+    """A mechanical disk with positional state.
+
+    Implements the same device interface as
+    :class:`~repro.flash.ssd.SimulatedSSD`: ``read``/``write``/``trim``
+    returning microseconds of service time charged to the shared clock.
+    """
+
+    def __init__(
+        self,
+        geometry: DiskGeometry | None = None,
+        clock: VirtualClock | None = None,
+        rng: np.random.Generator | None = None,
+        name: str = "hdd",
+    ) -> None:
+        self.geometry = geometry or DiskGeometry()
+        self.clock = clock or VirtualClock()
+        self.rng = rng
+        self.name = name
+        self.counters = CounterSet()
+        self._head_lba = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.geometry.capacity_bytes
+
+    @property
+    def num_sectors(self) -> int:
+        return self.geometry.num_sectors
+
+    # -- latency model ---------------------------------------------------------
+
+    def _service_time_us(self, lba: int, nbytes: int) -> float:
+        if lba < 0 or nbytes <= 0:
+            raise ValueError(f"invalid request lba={lba} nbytes={nbytes}")
+        if lba * SECTOR_BYTES + nbytes > self.capacity_bytes:
+            raise ValueError("request exceeds disk capacity")
+        geo = self.geometry
+        distance = abs(lba - self._head_lba)
+        latency = geo.controller_overhead_us
+        if distance > _SEQUENTIAL_SLACK_SECTORS:
+            latency += geo.seek_time_us(distance)
+            if self.rng is None:
+                latency += geo.mean_rotational_latency_us
+            else:
+                latency += float(self.rng.uniform(0.0, geo.rotation_period_us))
+            self.counters.add("seeks", distance)
+        latency += geo.transfer_time_us(nbytes)
+        self._head_lba = lba + -(-nbytes // SECTOR_BYTES)
+        return latency
+
+    # -- host I/O ------------------------------------------------------------------
+
+    def read(self, lba: int, nbytes: int) -> float:
+        """Read ``nbytes`` at sector ``lba``; returns service time in us."""
+        latency = self._service_time_us(lba, nbytes)
+        self.counters.add("read_ops", nbytes)
+        self.counters.add("access_time_us", latency)
+        self.clock.advance(latency)
+        self.clock.charge(self.name, latency)
+        return latency
+
+    def write(self, lba: int, nbytes: int) -> float:
+        """Write ``nbytes`` at sector ``lba``; returns service time in us."""
+        latency = self._service_time_us(lba, nbytes)
+        self.counters.add("write_ops", nbytes)
+        self.counters.add("access_time_us", latency)
+        self.clock.advance(latency)
+        self.clock.charge(self.name, latency)
+        return latency
+
+    def trim(self, lba: int, nbytes: int) -> float:
+        """TRIM is a no-op on mechanical disks; kept for interface parity."""
+        self.counters.add("trim_ops", nbytes)
+        return 0.0
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def mean_access_time_us(self) -> float:
+        return self.counters["access_time_us"].mean
+
+    def reset_counters(self) -> None:
+        self.counters.reset()

@@ -1,0 +1,90 @@
+"""Lightweight counters for simulation statistics.
+
+Device models and the cache manager count events (reads, writes, erases,
+hits, misses) on hot paths, so the implementation favours plain attribute
+arithmetic over abstraction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["Counter", "CounterSet"]
+
+
+class Counter:
+    """A single named event counter with an optional accumulated value.
+
+    ``count`` tracks how many times the event fired, ``total`` accumulates
+    an associated quantity (bytes, microseconds, ...).  ``mean`` is the
+    ratio, which device models use for e.g. mean access time.
+    """
+
+    __slots__ = ("name", "count", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float = 0.0, n: int = 1) -> None:
+        """Record ``n`` events carrying aggregate quantity ``value``."""
+        self.count += n
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean quantity per event, or 0.0 when no events were recorded."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, count={self.count}, total={self.total:.3f})"
+
+
+class CounterSet:
+    """A named collection of :class:`Counter` objects, created on demand."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+
+    def __getitem__(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __iter__(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def add(self, name: str, value: float = 0.0, n: int = 1) -> None:
+        """Shorthand for ``self[name].add(value, n)``."""
+        self[name].add(value, n)
+
+    def count(self, name: str) -> int:
+        """Event count for ``name`` (0 if the counter does not exist)."""
+        counter = self._counters.get(name)
+        return counter.count if counter else 0
+
+    def total(self, name: str) -> float:
+        """Accumulated quantity for ``name`` (0.0 if absent)."""
+        counter = self._counters.get(name)
+        return counter.total if counter else 0.0
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+
+    def snapshot(self) -> dict[str, tuple[int, float]]:
+        """Return ``{name: (count, total)}`` for reporting."""
+        return {c.name: (c.count, c.total) for c in self._counters.values()}

@@ -1,0 +1,89 @@
+"""FIFO queueing simulation for open-loop load analysis.
+
+The retrieval drivers are closed-loop (one query at a time), which
+measures pure service time.  A production index server sees an *arrival
+process*: queries queue while the server is busy, and response time =
+wait + service.  This module simulates a single FIFO server fed by
+Poisson arrivals over a measured service-time sample — the standard way
+to turn service-time distributions into latency-vs-load curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+__all__ = ["QueueResult", "simulate_fifo_queue"]
+
+
+@dataclass(frozen=True)
+class QueueResult:
+    """Outcome of one open-loop simulation at a fixed offered load."""
+
+    offered_qps: float
+    completed: int
+    mean_response_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    mean_wait_us: float
+    utilization: float
+    #: True when the queue kept growing to the end (offered > capacity)
+    saturated: bool
+
+
+def simulate_fifo_queue(
+    service_times_us: np.ndarray,
+    offered_qps: float,
+    seed: int = 0,
+    saturation_utilization: float = 0.97,
+) -> QueueResult:
+    """Simulate Poisson arrivals into a single FIFO server.
+
+    ``service_times_us`` is consumed in order.  Saturation is flagged
+    when the server is busy essentially the whole horizon (utilization
+    above ``saturation_utilization``) — the backlog then grows without
+    bound as the run extends.
+    """
+    service = np.asarray(service_times_us, dtype=np.float64)
+    if service.size == 0:
+        raise ValueError("need at least one service-time sample")
+    if (service <= 0).any():
+        raise ValueError("service times must be positive")
+    if offered_qps <= 0:
+        raise ValueError("offered_qps must be positive")
+
+    rng = make_rng(seed)
+    n = service.size
+    interarrival_us = rng.exponential(1e6 / offered_qps, size=n)
+    arrivals = np.cumsum(interarrival_us)
+
+    start = np.empty(n, dtype=np.float64)
+    end = np.empty(n, dtype=np.float64)
+    prev_end = 0.0
+    for i in range(n):
+        start[i] = max(arrivals[i], prev_end)
+        end[i] = start[i] + service[i]
+        prev_end = end[i]
+
+    response = end - arrivals
+    wait = start - arrivals
+    horizon = end[-1]
+    busy = service.sum()
+    utilization = float(min(1.0, busy / horizon))
+    saturated = utilization > saturation_utilization
+
+    return QueueResult(
+        offered_qps=offered_qps,
+        completed=n,
+        mean_response_us=float(response.mean()),
+        p50_us=float(np.percentile(response, 50)),
+        p95_us=float(np.percentile(response, 95)),
+        p99_us=float(np.percentile(response, 99)),
+        mean_wait_us=float(wait.mean()),
+        utilization=utilization,
+        saturated=saturated,
+    )

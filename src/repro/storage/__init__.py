@@ -1,0 +1,18 @@
+"""Storage device abstraction and hierarchy wiring.
+
+Defines the :class:`~repro.storage.device.BlockDevice` protocol shared by
+the DRAM, SSD and HDD models, and :class:`~repro.storage.hierarchy.
+StorageHierarchy`, which assembles the paper's three-tier stack (memory L1
+cache, SSD L2 cache, HDD index store) on one virtual clock.
+"""
+
+from repro.storage.device import BlockDevice, DramModel, NullDevice
+from repro.storage.hierarchy import StorageHierarchy, HierarchyConfig
+
+__all__ = [
+    "BlockDevice",
+    "DramModel",
+    "NullDevice",
+    "StorageHierarchy",
+    "HierarchyConfig",
+]

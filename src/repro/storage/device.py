@@ -1,0 +1,113 @@
+"""Block-device protocol and the DRAM latency model.
+
+All tiers speak the same interface — ``read``/``write``/``trim`` over
+(lba, nbytes) returning microseconds — so the cache manager and workload
+drivers are agnostic to what backs each level.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.sim.clock import VirtualClock
+from repro.sim.counters import CounterSet
+
+__all__ = ["BlockDevice", "DramModel", "NullDevice"]
+
+
+@runtime_checkable
+class BlockDevice(Protocol):
+    """Minimal interface every storage tier implements."""
+
+    name: str
+    counters: CounterSet
+
+    @property
+    def capacity_bytes(self) -> int: ...
+
+    def read(self, lba: int, nbytes: int) -> float: ...
+
+    def write(self, lba: int, nbytes: int) -> float: ...
+
+    def trim(self, lba: int, nbytes: int) -> float: ...
+
+
+class DramModel:
+    """Main-memory access cost model.
+
+    Memory is not sector-addressed, but modelling it behind the same
+    interface lets Table I's time costs (T1, T2, ...) fall out of uniform
+    accounting.  Cost = fixed software overhead + bandwidth term.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 2 * 1024**3,
+        access_overhead_us: float = 0.2,
+        bandwidth_gb_s: float = 10.0,
+        clock: VirtualClock | None = None,
+        name: str = "dram",
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if bandwidth_gb_s <= 0:
+            raise ValueError("bandwidth_gb_s must be positive")
+        self._capacity = capacity_bytes
+        self.access_overhead_us = access_overhead_us
+        self.bandwidth_gb_s = bandwidth_gb_s
+        self.clock = clock or VirtualClock()
+        self.name = name
+        self.counters = CounterSet()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def _cost_us(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        return self.access_overhead_us + nbytes / (self.bandwidth_gb_s * 1e3)
+
+    def read(self, lba: int, nbytes: int) -> float:
+        latency = self._cost_us(nbytes)
+        self.counters.add("read_ops", nbytes)
+        self.counters.add("access_time_us", latency)
+        self.clock.advance(latency)
+        self.clock.charge(self.name, latency)
+        return latency
+
+    def write(self, lba: int, nbytes: int) -> float:
+        latency = self._cost_us(nbytes)
+        self.counters.add("write_ops", nbytes)
+        self.counters.add("access_time_us", latency)
+        self.clock.advance(latency)
+        self.clock.charge(self.name, latency)
+        return latency
+
+    def trim(self, lba: int, nbytes: int) -> float:
+        return 0.0
+
+
+class NullDevice:
+    """A zero-latency, infinite device — useful as a test double."""
+
+    def __init__(self, name: str = "null", capacity_bytes: int = 2**62) -> None:
+        self.name = name
+        self._capacity = capacity_bytes
+        self.counters = CounterSet()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def read(self, lba: int, nbytes: int) -> float:
+        self.counters.add("read_ops", nbytes)
+        return 0.0
+
+    def write(self, lba: int, nbytes: int) -> float:
+        self.counters.add("write_ops", nbytes)
+        return 0.0
+
+    def trim(self, lba: int, nbytes: int) -> float:
+        self.counters.add("trim_ops", nbytes)
+        return 0.0

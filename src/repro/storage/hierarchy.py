@@ -1,0 +1,85 @@
+"""Assembly of the paper's three-tier storage stack (Fig. 2).
+
+A :class:`StorageHierarchy` owns one shared :class:`VirtualClock` and the
+three devices: DRAM (L1 cache), SSD (L2 cache) and HDD (index storage).
+The SSD tier is optional so the same object expresses the paper's
+one-level-cache baselines, and the index store can be placed on either the
+HDD or a second SSD (the "1LC-SSD" configurations of Fig. 15/16/18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash.constants import FlashConfig
+from repro.flash.ssd import SimulatedSSD
+from repro.hdd.disk import SimulatedHDD
+from repro.hdd.geometry import DiskGeometry
+from repro.sim.clock import VirtualClock
+from repro.storage.device import BlockDevice, DramModel
+
+__all__ = ["HierarchyConfig", "StorageHierarchy"]
+
+
+@dataclass
+class HierarchyConfig:
+    """Capacity and backing choices for a storage stack.
+
+    ``index_on`` selects where the inverted-index files live ("hdd" or
+    "ssd"), matching the paper's "HDD"/"SSD" legend entries.  ``ssd_cache``
+    enables the L2 SSD cache tier ("2LC" vs "1LC").
+    """
+
+    memory_bytes: int = 512 * 1024**2
+    ssd_cache: bool = True
+    ssd_config: FlashConfig = field(default_factory=FlashConfig)
+    index_on: str = "hdd"
+    hdd_geometry: DiskGeometry = field(default_factory=DiskGeometry)
+    #: FlashConfig for an SSD-resident index store (index_on == "ssd").
+    index_ssd_config: FlashConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.index_on not in ("hdd", "ssd"):
+            raise ValueError(f"index_on must be 'hdd' or 'ssd', got {self.index_on!r}")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+
+
+class StorageHierarchy:
+    """Devices of one index server sharing a virtual clock."""
+
+    def __init__(self, config: HierarchyConfig | None = None, seed: int = 0) -> None:
+        self.config = config or HierarchyConfig()
+        self.clock = VirtualClock()
+        self.memory = DramModel(
+            capacity_bytes=self.config.memory_bytes, clock=self.clock, name="dram"
+        )
+        self.ssd: SimulatedSSD | None = None
+        if self.config.ssd_cache:
+            self.ssd = SimulatedSSD(
+                config=self.config.ssd_config, clock=self.clock, name="ssd-cache"
+            )
+        if self.config.index_on == "hdd":
+            self.index_store: BlockDevice = SimulatedHDD(
+                geometry=self.config.hdd_geometry, clock=self.clock, name="index-hdd"
+            )
+        else:
+            index_cfg = self.config.index_ssd_config or self.config.ssd_config
+            self.index_store = SimulatedSSD(
+                config=index_cfg, clock=self.clock, name="index-ssd", ftl="page"
+            )
+
+    @property
+    def levels(self) -> int:
+        """2 when the SSD cache tier is present, else 1 (paper's 2LC/1LC)."""
+        return 2 if self.ssd is not None else 1
+
+    def describe(self) -> str:
+        """Short configuration label in the paper's legend style."""
+        cache = f"{self.levels}LC"
+        index = "HDD" if self.config.index_on == "hdd" else "SSD"
+        return f"{cache}-{index}"
+
+    def busy_breakdown_us(self) -> dict[str, float]:
+        """Busy time accumulated per device channel."""
+        return {ch: self.clock.busy_us(ch) for ch in self.clock.channels()}

@@ -1,0 +1,112 @@
+"""Trace analysis — measures the four Section III signatures.
+
+The paper characterises search-engine I/O as *read-dominant*, showing
+*locality*, *random reads* and *skipped reads*.  ``analyze_trace`` turns a
+trace into numbers for each claim, plus the (sequence, LBA) series that
+Fig. 1 plots, so the reproduction measures the properties instead of
+asserting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.record import Trace
+
+__all__ = ["TraceAnalysis", "analyze_trace"]
+
+_SECTOR = 512
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """Quantified I/O-pattern signatures of one trace."""
+
+    name: str
+    num_requests: int
+    #: fraction of requests that are reads ("read-dominant": paper > 0.99)
+    read_fraction: float
+    #: fraction of accesses landing on the busiest 10 % of touched regions
+    locality_top10: float
+    #: fraction of requests that are NOT sequential continuations
+    random_fraction: float
+    #: fraction of reads that jump forward within a small window
+    #: (the skip-list signature: forward, nearby, non-contiguous)
+    skipped_read_fraction: float
+    #: mean request size in bytes
+    mean_request_bytes: float
+    #: LBA span covered (max touched - min touched)
+    lba_span: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: n={self.num_requests} "
+            f"reads={self.read_fraction:.1%} locality(top10%)={self.locality_top10:.1%} "
+            f"random={self.random_fraction:.1%} skipped={self.skipped_read_fraction:.1%} "
+            f"mean_req={self.mean_request_bytes / 1024:.1f}KB span={self.lba_span}"
+        )
+
+
+def figure1_series(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    """The (read sequence number, logical sector number) series of Fig. 1."""
+    reads = trace.reads_only()
+    return np.arange(len(reads)), reads.lbas.copy()
+
+
+def analyze_trace(
+    trace: Trace,
+    region_sectors: int = 2048,
+    skip_window_sectors: int = 4096,
+) -> TraceAnalysis:
+    """Compute the Section III statistics for ``trace``.
+
+    Parameters
+    ----------
+    region_sectors:
+        Granularity for the locality statistic: the LBA space is bucketed
+        into regions of this many sectors and accesses are attributed to
+        regions.
+    skip_window_sectors:
+        Maximum forward jump (beyond sequential) still counted as a
+        *skipped* read rather than a random read.
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot analyze an empty trace")
+    if region_sectors <= 0 or skip_window_sectors <= 0:
+        raise ValueError("window parameters must be positive")
+
+    read_fraction = float(trace.is_read.mean())
+
+    # Locality: share of accesses hitting the hottest 10 % of touched regions.
+    regions = trace.lbas // region_sectors
+    _, counts = np.unique(regions, return_counts=True)
+    counts_sorted = np.sort(counts)[::-1]
+    top_n = max(1, int(np.ceil(counts_sorted.size * 0.10)))
+    locality = float(counts_sorted[:top_n].sum() / counts_sorted.sum())
+
+    # Sequentiality / randomness / skips over the read substream.
+    reads = trace.reads_only()
+    if len(reads) >= 2:
+        end_lba = reads.lbas[:-1] + -(-reads.nbytes[:-1] // _SECTOR)
+        delta = reads.lbas[1:] - end_lba
+        sequential = delta == 0
+        skipped = (delta > 0) & (delta <= skip_window_sectors)
+        random_frac = float(1.0 - sequential.mean())
+        skipped_frac = float(skipped.mean())
+    else:
+        random_frac = 0.0
+        skipped_frac = 0.0
+
+    touched = trace.lbas
+    return TraceAnalysis(
+        name=trace.name,
+        num_requests=len(trace),
+        read_fraction=read_fraction,
+        locality_top10=locality,
+        random_fraction=random_frac,
+        skipped_read_fraction=skipped_frac,
+        mean_request_bytes=float(trace.nbytes.mean()),
+        lba_span=int(touched.max() - touched.min()),
+    )

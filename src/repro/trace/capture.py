@@ -1,0 +1,86 @@
+"""Live I/O capture on any simulated device.
+
+Section VII.D: "we use DiskMon to collect the I/O access pattern in SSD"
+— the paper inspects the *device-level* request stream its policies
+generate.  :class:`TracingDevice` wraps any block device and records
+every read/write/trim into a :class:`~repro.trace.record.Trace`, so the
+same §III analyzer can quantify how CBLRU's placement turns the SSD's
+write stream sequential.
+"""
+
+from __future__ import annotations
+
+from repro.storage.device import BlockDevice
+from repro.trace.record import Trace, TraceRecord
+
+__all__ = ["TracingDevice"]
+
+
+class TracingDevice:
+    """A pass-through block device that records every request.
+
+    Timestamps come from the wrapped device's clock when it has one, so
+    the captured trace carries simulated time.
+    """
+
+    def __init__(self, device: BlockDevice, capture_reads: bool = True,
+                 capture_writes: bool = True) -> None:
+        self.device = device
+        self.capture_reads = capture_reads
+        self.capture_writes = capture_writes
+        self._records: list[TraceRecord] = []
+
+    # -- device interface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"traced({self.device.name})"
+
+    @property
+    def counters(self):
+        return self.device.counters
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.device.capacity_bytes
+
+    def _now_s(self) -> float:
+        clock = getattr(self.device, "clock", None)
+        return clock.now_s if clock is not None else 0.0
+
+    def read(self, lba: int, nbytes: int) -> float:
+        if self.capture_reads:
+            self._records.append(
+                TraceRecord(lba=lba, nbytes=nbytes, is_read=True,
+                            timestamp_s=self._now_s())
+            )
+        return self.device.read(lba, nbytes)
+
+    def write(self, lba: int, nbytes: int) -> float:
+        if self.capture_writes:
+            self._records.append(
+                TraceRecord(lba=lba, nbytes=nbytes, is_read=False,
+                            timestamp_s=self._now_s())
+            )
+        return self.device.write(lba, nbytes)
+
+    def trim(self, lba: int, nbytes: int) -> float:
+        return self.device.trim(lba, nbytes)
+
+    # -- capture access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def trace(self, name: str | None = None) -> Trace:
+        """The captured request stream as a Trace."""
+        return Trace.from_records(
+            self._records, name=name or f"capture:{self.device.name}"
+        )
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+def __getattr__(name):  # pragma: no cover - module-level passthrough guard
+    raise AttributeError(name)

@@ -1,0 +1,122 @@
+"""Synthetic trace generation.
+
+Two generators reproduce the paper's two trace sources:
+
+* :func:`generate_websearch_trace` — a UMass-WebSearch-style block trace
+  (Fig. 1a): >99 % reads scattered across a wide LBA range with a
+  Zipf-hot subset of "index hot spots".
+* :func:`trace_from_engine` — the DiskMon-style capture of our own engine
+  (Fig. 1b): replays a query log against the index layout and records
+  every posting-list chunk read, naturally producing the locality, random
+  reads and skipped reads of Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.index import InvertedIndex
+from repro.engine.processor import QueryProcessor
+from repro.engine.querylog import QueryLog
+from repro.sim.rng import make_rng
+from repro.trace.record import Trace
+
+__all__ = ["WebSearchTraceConfig", "generate_websearch_trace", "trace_from_engine"]
+
+
+@dataclass(frozen=True)
+class WebSearchTraceConfig:
+    """Parameters of the UMass-like synthetic web-search trace."""
+
+    num_requests: int = 100_000
+    #: LBA span of the device region the index occupies (Fig. 1a spans ~35e5)
+    lba_span: int = 3_500_000
+    #: fraction of requests that are reads (UMass WebSearch measures > 99 %)
+    read_fraction: float = 0.995
+    #: number of hot extents (frequently used posting lists)
+    hot_spots: int = 400
+    #: fraction of accesses that land on hot extents (locality)
+    hot_fraction: float = 0.7
+    #: request size draw: multiples of 512 B between 1 and this many sectors
+    max_sectors: int = 256
+    #: mean interarrival time in seconds
+    mean_interarrival_s: float = 0.001
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0 or self.lba_span <= 0:
+            raise ValueError("num_requests and lba_span must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.hot_spots <= 0 or self.max_sectors <= 0:
+            raise ValueError("hot_spots and max_sectors must be positive")
+
+
+def generate_websearch_trace(config: WebSearchTraceConfig | None = None) -> Trace:
+    """Generate a block-level trace with web-search signatures."""
+    config = config or WebSearchTraceConfig()
+    rng = make_rng(config.seed)
+    n = config.num_requests
+
+    hot_centers = rng.integers(0, config.lba_span, size=config.hot_spots)
+    hot_weights = 1.0 / np.arange(1, config.hot_spots + 1, dtype=np.float64)
+    hot_weights /= hot_weights.sum()
+
+    on_hot = rng.random(n) < config.hot_fraction
+    chosen = rng.choice(config.hot_spots, size=n, p=hot_weights)
+    jitter = rng.integers(0, 2048, size=n)  # within-extent skip offsets
+    hot_lbas = (hot_centers[chosen] + jitter) % config.lba_span
+    cold_lbas = rng.integers(0, config.lba_span, size=n)
+    lbas = np.where(on_hot, hot_lbas, cold_lbas)
+
+    sectors = rng.integers(1, config.max_sectors + 1, size=n)
+    nbytes = sectors * 512
+    is_read = rng.random(n) < config.read_fraction
+    timestamps = np.cumsum(rng.exponential(config.mean_interarrival_s, size=n))
+    return Trace(lbas, nbytes, is_read, timestamps, name="websearch-synthetic")
+
+
+def trace_from_engine(
+    index: InvertedIndex,
+    log: QueryLog,
+    max_queries: int | None = None,
+    seed: int = 1234,
+) -> Trace:
+    """Capture the disk reads an uncached engine issues for a query log.
+
+    This is the simulated equivalent of running DiskMon under the Lucene
+    retrieval test: for each query, each term's traversed prefix turns
+    into chunked reads at the term's extent (skip reads within extents,
+    random jumps between terms).
+    """
+    processor = QueryProcessor(index, seed=seed)
+    rng = make_rng(seed + 1)
+    lbas: list[int] = []
+    sizes: list[int] = []
+    queries = log.head(max_queries) if max_queries is not None else list(log)
+    for query in queries:
+        plan = processor.plan(query)
+        for demand in plan.demands:
+            for lba, nb in index.layout.chunk_reads(demand.term_id, demand.needed_bytes):
+                # Within a chunk, skip pointers make the engine jump over
+                # low-tf runs: emit sub-reads separated by small forward
+                # gaps instead of one contiguous read.
+                pos = 0
+                while pos < nb:
+                    size = int(min(nb - pos, rng.integers(16, 129) * 512))
+                    lbas.append(lba + pos // 512)
+                    sizes.append(size)
+                    pos += size
+                    pos += int(rng.integers(0, 17)) * 512  # skipped run
+    n = len(lbas)
+    return Trace(
+        np.array(lbas, dtype=np.int64),
+        np.array(sizes, dtype=np.int64),
+        np.ones(n, dtype=bool),
+        np.arange(n, dtype=np.float64) * 1e-3,
+        name="engine-diskmon",
+    )

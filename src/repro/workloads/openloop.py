@@ -1,0 +1,56 @@
+"""Open-loop load sweeps over the cached retrieval engine.
+
+Couples the closed-loop cache replay (which yields each query's service
+time) with the FIFO queueing model: the result is the latency-vs-offered-
+load curve of one index server under a given cache policy — where the
+knee sits is the practical meaning of the paper's throughput numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CacheConfig, Policy
+from repro.core.manager import CacheManager, build_hierarchy_for
+from repro.engine.index import InvertedIndex
+from repro.engine.querylog import QueryLog
+from repro.sim.queueing import QueueResult, simulate_fifo_queue
+
+__all__ = ["collect_service_times", "load_sweep"]
+
+
+def collect_service_times(
+    index: InvertedIndex,
+    log: QueryLog,
+    cache_config: CacheConfig,
+    warmup_queries: int = 0,
+    static_analyze_queries: int | None = None,
+    seed: int = 1234,
+) -> np.ndarray:
+    """Per-query service times (us) from a warm closed-loop replay."""
+    hierarchy = build_hierarchy_for(cache_config, index)
+    manager = CacheManager(cache_config, hierarchy, index)
+    if cache_config.policy is Policy.CBSLRU and cache_config.uses_ssd:
+        manager.warmup_static(log, analyze_queries=static_analyze_queries)
+    times: list[float] = []
+    for i, query in enumerate(log):
+        outcome = manager.process_query(query)
+        if i >= warmup_queries:
+            times.append(outcome.response_us)
+    if not times:
+        raise ValueError("no measured queries (warmup consumed the log)")
+    return np.array(times, dtype=np.float64)
+
+
+def load_sweep(
+    service_times_us: np.ndarray,
+    offered_rates_qps: list[float],
+    seed: int = 0,
+) -> list[QueueResult]:
+    """Queue-simulate each offered rate over one service-time sample."""
+    if not offered_rates_qps:
+        raise ValueError("offered_rates_qps must be non-empty")
+    return [
+        simulate_fifo_queue(service_times_us, rate, seed=seed)
+        for rate in offered_rates_qps
+    ]

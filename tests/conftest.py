@@ -1,0 +1,58 @@
+"""Shared fixtures: small, fast instances of every substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.corpus import CorpusConfig, build_corpus_stats
+from repro.engine.index import InvertedIndex
+from repro.engine.querylog import QueryLogConfig, generate_query_log
+from repro.flash.constants import FlashConfig
+
+
+@pytest.fixture
+def tiny_flash() -> FlashConfig:
+    """A 32-block SSD — small enough that GC pressure appears quickly."""
+    return FlashConfig(num_blocks=32, overprovision=0.15)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return build_corpus_stats(
+        CorpusConfig(num_docs=5_000, vocab_size=500, avg_doc_len=120, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_index(small_corpus) -> InvertedIndex:
+    return InvertedIndex(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def small_log():
+    return generate_query_log(
+        QueryLogConfig(
+            num_queries=600,
+            distinct_queries=150,
+            vocab_size=500,
+            seed=5,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_index() -> InvertedIndex:
+    """A scaled paper-like index whose hot lists span many flash blocks."""
+    return InvertedIndex(CorpusConfig.paper_scale(1_000_000))
+
+
+@pytest.fixture(scope="session")
+def paper_log():
+    return generate_query_log(
+        QueryLogConfig(
+            num_queries=3_000,
+            distinct_queries=900,
+            vocab_size=10_000,
+            seed=11,
+        )
+    )

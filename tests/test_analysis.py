@@ -1,0 +1,76 @@
+"""Analysis helpers: Zipf fit, Fig. 3 series, table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    term_access_frequency_series,
+    utilization_rate_series,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.zipf import fit_zipf_exponent
+
+
+def test_zipf_fit_recovers_exponent():
+    for s in (0.7, 1.0, 1.3):
+        freqs = 1e6 / np.arange(1, 2000) ** s
+        assert fit_zipf_exponent(freqs) == pytest.approx(s, abs=0.05)
+
+
+def test_zipf_fit_order_independent():
+    freqs = 1e4 / np.arange(1, 500)
+    shuffled = np.random.default_rng(0).permutation(freqs)
+    assert fit_zipf_exponent(shuffled) == pytest.approx(fit_zipf_exponent(freqs))
+
+
+def test_zipf_fit_validation():
+    with pytest.raises(ValueError):
+        fit_zipf_exponent(np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        fit_zipf_exponent(np.arange(1, 10), head_fraction=0.0)
+
+
+def test_utilization_series_descending(small_index, small_log):
+    series = utilization_rate_series(small_index, small_log)
+    assert (np.diff(series) <= 0).all()
+    assert series.max() <= 100.0
+    assert series.min() > 0
+
+
+def test_utilization_series_without_log(small_index):
+    series = utilization_rate_series(small_index)
+    assert len(series) == small_index.num_terms
+
+
+def test_term_access_series(small_index, small_log):
+    counts, sizes = term_access_frequency_series(small_index, small_log)
+    assert (np.diff(counts) <= 0).all()  # ranked by frequency
+    assert len(counts) == len(sizes)
+    assert counts.sum() == sum(len(q.terms) for q in small_log)
+
+
+def test_term_access_series_is_zipf_like(paper_index, paper_log):
+    counts, _ = term_access_frequency_series(paper_index, paper_log)
+    s = fit_zipf_exponent(counts, head_fraction=0.3)
+    assert 0.3 < s < 2.0
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["x", 1.0], ["long-name", 22.5]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_validation():
+    with pytest.raises(ValueError):
+        format_table([], [])
+    with pytest.raises(ValueError):
+        format_table(["a"], [["x", "y"]])
+
+
+def test_format_table_empty_rows():
+    out = format_table(["a", "b"], [])
+    assert "a" in out

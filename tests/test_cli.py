@@ -1,0 +1,78 @@
+"""CLI subcommands (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_corpus_command(capsys):
+    rc = main(["corpus", "--docs", "20000", "--vocab", "2000"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "corpus statistics" in out
+    assert "20,000" in out
+
+
+def test_trace_command_writes_spc(tmp_path, capsys):
+    path = tmp_path / "t.spc"
+    rc = main(["trace", "--requests", "500", "--out", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert path.exists()
+    assert "reads=" in out
+
+
+def test_trace_command_writes_msr_and_diskmon(tmp_path, capsys):
+    for ext in ("csv", "dmn"):
+        path = tmp_path / f"t.{ext}"
+        assert main(["trace", "--requests", "200", "--out", str(path)]) == 0
+        assert path.exists()
+    capsys.readouterr()
+
+
+def test_trace_command_rejects_unknown_extension(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "--requests", "100", "--out", str(tmp_path / "t.xyz")])
+
+
+def test_analyze_command_all_formats(tmp_path, capsys):
+    main(["trace", "--requests", "300", "--out", str(tmp_path / "t.spc")])
+    main(["trace", "--requests", "300", "--out", str(tmp_path / "t.csv")])
+    main(["trace", "--requests", "300", "--out", str(tmp_path / "t.dmn")])
+    capsys.readouterr()
+    for fmt, ext in (("spc", "spc"), ("msr", "csv"), ("diskmon", "dmn")):
+        rc = main(["analyze", str(tmp_path / f"t.{ext}"), "--format", fmt])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "n=300" in out
+
+
+def test_run_command_basic(capsys):
+    rc = main(["run", "--policy", "cblru", "--docs", "100000",
+               "--queries", "150", "--mem-mb", "2", "--ssd-mb", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "CBLRU" in out
+    assert "mean response" in out
+
+
+def test_run_command_three_level_and_ttl(capsys):
+    rc = main(["run", "--policy", "lru", "--docs", "100000",
+               "--queries", "150", "--mem-mb", "2", "--ssd-mb", "8",
+               "--three-level", "--ttl-ms", "1.0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "intersection hits" in out
+    assert "expired" in out
+
+
+def test_run_command_cbslru_warms_static(capsys):
+    rc = main(["run", "--policy", "cbslru", "--docs", "100000",
+               "--queries", "200", "--mem-mb", "2", "--ssd-mb", "8"])
+    assert rc == 0
+    capsys.readouterr()

@@ -1,0 +1,186 @@
+"""Sharded cluster: partitioning, fan-out, merging, accounting."""
+
+import pytest
+
+from repro.cluster.broker import Broker
+from repro.cluster.shard import IndexShard, partition_corpus
+from repro.core.config import CacheConfig, Policy
+from repro.engine.corpus import CorpusConfig
+from repro.engine.query import Query
+from repro.engine.querylog import QueryLogConfig, generate_query_log
+
+KB = 1024
+BASE = CorpusConfig(num_docs=8000, vocab_size=120, seed=19)
+
+
+def cache_cfg(policy=Policy.CBLRU):
+    return CacheConfig(
+        mem_result_bytes=100 * KB, mem_list_bytes=256 * KB,
+        ssd_result_bytes=512 * KB, ssd_list_bytes=2048 * KB,
+        policy=policy,
+    )
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_query_log(QueryLogConfig(
+        num_queries=300, distinct_queries=90, vocab_size=120, seed=3))
+
+
+# -- partitioning ------------------------------------------------------------
+
+def test_partition_counts_and_seeds():
+    parts = partition_corpus(BASE, 4)
+    assert len(parts) == 4
+    for p in parts:
+        assert p.config.num_docs == 2000
+        assert p.config.vocab_size == BASE.vocab_size
+    # Different shards hold different data (derived seeds).
+    assert not (parts[0].doc_freqs == parts[1].doc_freqs).all()
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        partition_corpus(BASE, 0)
+
+
+def test_single_shard_partition_keeps_whole_collection():
+    parts = partition_corpus(BASE, 1)
+    assert parts[0].config.num_docs == BASE.num_docs
+
+
+# -- shard -------------------------------------------------------------------------
+
+def test_shard_runs_queries():
+    shard = IndexShard(0, partition_corpus(BASE, 2)[0], cache_cfg())
+    out = shard.process_query(Query(0, (3, 7)))
+    assert out.response_us > 0
+    assert shard.stats.queries == 1
+    assert "shard 0" in shard.describe()
+
+
+def test_shard_validation():
+    with pytest.raises(ValueError):
+        IndexShard(-1, partition_corpus(BASE, 2)[0], cache_cfg())
+
+
+# -- broker ------------------------------------------------------------------------
+
+def test_broker_build_and_fanout(log):
+    broker = Broker.build(BASE, num_shards=3, cache_config=cache_cfg())
+    assert broker.num_shards == 3
+    out = broker.process_query(log[0])
+    assert len(out.shard_times_us) == 3
+    # Fan-out latency = slowest shard + merge overhead.
+    assert out.response_us == pytest.approx(
+        max(out.shard_times_us) + broker.merge_overhead_us
+    )
+
+
+def test_broker_validation():
+    with pytest.raises(ValueError):
+        Broker([])
+    shard = IndexShard(0, partition_corpus(BASE, 2)[0], cache_cfg())
+    with pytest.raises(ValueError):
+        Broker([shard, shard])  # duplicate ids
+    with pytest.raises(ValueError):
+        Broker([shard], merge_overhead_us=-1.0)
+
+
+def test_broker_stats_accumulate(log):
+    broker = Broker.build(BASE, num_shards=2, cache_config=cache_cfg())
+    for q in log.head(50):
+        broker.process_query(q)
+    stats = broker.stats
+    assert stats.queries == 50
+    assert stats.mean_response_us > 0
+    assert stats.throughput_qps > 0
+    assert all(b > 0 for b in stats.per_shard_busy_us)
+    assert stats.mean_straggler_us >= 0
+    assert 0 <= broker.combined_hit_ratio() <= 1
+
+
+def test_every_shard_sees_every_query(log):
+    broker = Broker.build(BASE, num_shards=3, cache_config=cache_cfg())
+    for q in log.head(40):
+        broker.process_query(q)
+    for shard in broker.shards:
+        assert shard.stats.queries == 40
+
+
+def test_repeat_queries_hit_all_shard_result_caches(log):
+    broker = Broker.build(BASE, num_shards=2, cache_config=cache_cfg())
+    q = log[0]
+    broker.process_query(q)
+    out = broker.process_query(q)
+    assert out.shard_result_hits == 2
+
+
+def test_sharding_reduces_per_query_latency(log):
+    """Each shard scans 1/N of the postings, so fan-out latency drops
+    with shard count (until merge overhead dominates)."""
+    results = {}
+    for n in (1, 4):
+        broker = Broker.build(BASE, num_shards=n, cache_config=cache_cfg())
+        for q in log.head(60):
+            broker.process_query(q)
+        results[n] = broker.stats.mean_response_us
+    assert results[4] < results[1]
+
+
+def test_broker_result_cache_hits_skip_fanout(log):
+    broker = Broker.build(BASE, num_shards=2, cache_config=cache_cfg())
+    broker.result_cache_entries = 64
+    q = log[0]
+    first = broker.process_query(q)
+    assert first.shard_times_us  # fan-out happened
+    second = broker.process_query(q)
+    assert second.shard_times_us == ()  # answered at the broker
+    assert second.response_us == pytest.approx(broker.broker_hit_us)
+    assert broker.stats.broker_cache_hits == 1
+    # Shards never saw the second query.
+    for shard in broker.shards:
+        assert shard.stats.queries == 1
+
+
+def test_broker_result_cache_evicts_lru():
+    broker = Broker.build(BASE, num_shards=1, cache_config=cache_cfg(),
+                          )
+    broker.result_cache_entries = 2
+    qs = [Query(i, (1 + i,)) for i in range(3)]
+    for q in qs:
+        broker.process_query(q)
+    broker.process_query(qs[0])  # evicted: full fan-out again
+    assert broker.stats.broker_cache_hits == 0
+    broker.process_query(qs[2])  # still cached
+    assert broker.stats.broker_cache_hits == 1
+
+
+def test_broker_cache_validation():
+    shard = IndexShard(0, partition_corpus(BASE, 2)[0], cache_cfg())
+    with pytest.raises(ValueError):
+        Broker([shard], result_cache_entries=-1)
+    with pytest.raises(ValueError):
+        Broker([shard], broker_hit_us=-1.0)
+
+
+def test_broker_cache_lowers_mean_response(log):
+    plain = Broker.build(BASE, num_shards=2, cache_config=cache_cfg())
+    cached = Broker.build(BASE, num_shards=2, cache_config=cache_cfg())
+    cached.result_cache_entries = 256
+    for q in log.head(120):
+        plain.process_query(q)
+        cached.process_query(q)
+    assert cached.stats.mean_response_us < plain.stats.mean_response_us
+    assert cached.stats.broker_cache_hits > 0
+
+
+def test_cbslru_cluster_warmup(log):
+    broker = Broker.build(BASE, num_shards=2,
+                          cache_config=cache_cfg(Policy.CBSLRU))
+    broker.warmup_static(log, analyze_queries=150)
+    for shard in broker.shards:
+        assert shard.manager.static_results or shard.manager.static_lists
+    for q in log.head(30):
+        broker.process_query(q)
+    assert broker.total_ssd_erases() >= 0

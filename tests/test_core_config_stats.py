@@ -1,0 +1,141 @@
+"""Cache configuration and statistics."""
+
+import pytest
+
+from repro.core.config import CacheConfig, Policy, Scheme
+from repro.core.stats import CacheStats, Situation
+
+MB = 1024 * 1024
+
+
+# -- config ---------------------------------------------------------------
+
+def test_defaults_match_paper_constants():
+    cfg = CacheConfig()
+    assert cfg.block_bytes == 128 * 1024          # SB
+    assert cfg.result_entry_bytes == 20 * 1024    # ~20 KB result entry
+    assert cfg.top_k == 50                        # K
+    assert cfg.replace_window == 5                # W
+    assert cfg.entries_per_rb == 6                # floor(128/20)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(mem_result_bytes=-1)
+    with pytest.raises(ValueError):
+        CacheConfig(result_entry_bytes=256 * 1024)  # > block
+    with pytest.raises(ValueError):
+        CacheConfig(replace_window=0)
+    with pytest.raises(ValueError):
+        CacheConfig(static_fraction=1.0)
+    with pytest.raises(ValueError):
+        CacheConfig(tev=-0.5)
+
+
+def test_derived_block_counts():
+    cfg = CacheConfig(ssd_result_bytes=10 * MB, ssd_list_bytes=100 * MB)
+    assert cfg.ssd_result_blocks == 80
+    assert cfg.ssd_list_blocks == 800
+    assert cfg.ssd_cache_bytes == 110 * MB
+    assert cfg.uses_ssd
+
+
+def test_paper_split_proportions():
+    cfg = CacheConfig.paper_split(mem_bytes=10 * MB, ssd_bytes=100 * MB)
+    assert cfg.mem_result_bytes == 2 * MB           # 20%
+    assert cfg.mem_list_bytes == 8 * MB             # 80%
+    assert cfg.ssd_result_bytes == 20 * MB          # 10x mem RC
+    assert cfg.ssd_list_bytes == 80 * MB
+    # Fig. 16's caps: SSD RC never exceeds 10x memory RC.
+    big = CacheConfig.paper_split(mem_bytes=1 * MB, ssd_bytes=1000 * MB)
+    assert big.ssd_result_bytes == 10 * big.mem_result_bytes
+
+
+def test_paper_split_memory_only():
+    cfg = CacheConfig.paper_split(mem_bytes=10 * MB)
+    assert not cfg.uses_ssd
+
+
+def test_one_level_strips_ssd():
+    cfg = CacheConfig.paper_split(mem_bytes=10 * MB, ssd_bytes=100 * MB,
+                                  policy=Policy.CBLRU)
+    one = cfg.one_level()
+    assert not one.uses_ssd
+    assert one.mem_result_bytes == cfg.mem_result_bytes
+    assert one.policy is Policy.CBLRU
+
+
+def test_write_buffer_entries_override():
+    cfg = CacheConfig(write_buffer_entries=4)
+    assert cfg.entries_per_rb == 4
+
+
+# -- situations ----------------------------------------------------------------
+
+def test_situation_classification_all_combinations():
+    assert Situation.for_lists(True, False, False) is Situation.S2
+    assert Situation.for_lists(True, True, False) is Situation.S4
+    assert Situation.for_lists(False, True, False) is Situation.S5
+    assert Situation.for_lists(True, False, True) is Situation.S6
+    assert Situation.for_lists(False, True, True) is Situation.S7
+    assert Situation.for_lists(False, False, True) is Situation.S8
+    assert Situation.for_lists(True, True, True) is Situation.S9
+
+
+def test_situation_no_source_rejected():
+    with pytest.raises(ValueError):
+        Situation.for_lists(False, False, False)
+
+
+# -- stats ----------------------------------------------------------------------
+
+def test_hit_ratios():
+    s = CacheStats()
+    s.result_l1_hits = 6
+    s.result_l2_hits = 2
+    s.result_misses = 2
+    s.list_l1_hits = 3
+    s.list_l2_hits = 1
+    s.list_partial_hits = 2
+    s.list_misses = 4
+    assert s.result_hit_ratio == pytest.approx(0.8)
+    assert s.list_hit_ratio == pytest.approx(0.4)
+    assert s.combined_hit_ratio == pytest.approx(12 / 20)
+
+
+def test_empty_stats_are_zero():
+    s = CacheStats()
+    assert s.result_hit_ratio == 0.0
+    assert s.list_hit_ratio == 0.0
+    assert s.mean_response_us == 0.0
+    assert s.throughput_qps == 0.0
+
+
+def test_record_query_accumulates():
+    s = CacheStats()
+    s.record_query(Situation.S1, 1000.0)
+    s.record_query(Situation.S8, 3000.0)
+    assert s.queries == 2
+    assert s.mean_response_us == pytest.approx(2000.0)
+    assert s.throughput_qps == pytest.approx(2 / (4000.0 / 1e6))
+    assert s.situation_counts[Situation.S1] == 1
+
+
+def test_situation_table_rows():
+    s = CacheStats()
+    s.record_query(Situation.S1, 2000.0)
+    s.record_query(Situation.S1, 4000.0)
+    rows = s.situation_table()
+    assert len(rows) == 9
+    name, prob, mean_ms = rows[0]
+    assert name == "S1"
+    assert prob == pytest.approx(1.0)
+    assert mean_ms == pytest.approx(3.0)
+
+
+def test_reset():
+    s = CacheStats()
+    s.record_query(Situation.S1, 1.0)
+    s.reset()
+    assert s.queries == 0
+    assert s.situation_counts[Situation.S1] == 0

@@ -1,0 +1,95 @@
+"""Cache entries and result blocks (Fig. 6/7 mapping values)."""
+
+import pytest
+
+from repro.core.entries import CachedList, CachedResult, EntryState, ResultBlock
+
+
+def test_cached_result_defaults():
+    e = CachedResult(query_key=(1, 2), nbytes=20480)
+    assert e.freq == 1
+    assert not e.on_ssd
+    assert e.state is EntryState.NORMAL
+    e.touch()
+    assert e.freq == 2
+
+
+def test_cached_result_on_ssd_detection():
+    e = CachedResult(query_key=(1,), nbytes=100, rb_id=3, slot=0, lba=40)
+    assert e.on_ssd
+
+
+def test_cached_list_validation():
+    with pytest.raises(ValueError):
+        CachedList(term_id=0, cached_bytes=-1, total_bytes=100, pu=0.5)
+    with pytest.raises(ValueError):
+        CachedList(term_id=0, cached_bytes=10, total_bytes=0, pu=0.5)
+    with pytest.raises(ValueError):
+        CachedList(term_id=0, cached_bytes=10, total_bytes=100, pu=0.0)
+    with pytest.raises(ValueError):
+        CachedList(term_id=0, cached_bytes=10, total_bytes=100, pu=1.5)
+
+
+def test_cached_list_covers():
+    e = CachedList(term_id=0, cached_bytes=1000, total_bytes=5000, pu=0.2)
+    assert e.covers(999) and e.covers(1000)
+    assert not e.covers(1001)
+
+
+def test_cached_list_formula1_pu():
+    e = CachedList(term_id=0, cached_bytes=1000, total_bytes=5000, pu=0.2,
+                   mean_needed_bytes=600.0)
+    assert e.formula1_pu == pytest.approx(0.6)
+    # Falls back to the term utilization when no need has been recorded.
+    fresh = CachedList(term_id=0, cached_bytes=1000, total_bytes=5000, pu=0.2)
+    assert fresh.formula1_pu == pytest.approx(0.2)
+    # Never exceeds 1.
+    hot = CachedList(term_id=0, cached_bytes=100, total_bytes=500, pu=0.2,
+                     mean_needed_bytes=1000.0)
+    assert hot.formula1_pu == 1.0
+
+
+def test_cached_list_on_ssd_detection():
+    blocks = CachedList(term_id=0, cached_bytes=10, total_bytes=20, pu=0.5,
+                        blocks=[1, 2])
+    byte = CachedList(term_id=0, cached_bytes=10, total_bytes=20, pu=0.5,
+                      lba_byte=100)
+    neither = CachedList(term_id=0, cached_bytes=10, total_bytes=20, pu=0.5)
+    assert blocks.on_ssd and byte.on_ssd and not neither.on_ssd
+
+
+def test_result_block_bitmap():
+    rb = ResultBlock(rb_id=0, lba=0, num_slots=6)
+    assert rb.iren == 6 and rb.valid_count == 0
+    rb.set_valid(0, (1,))
+    rb.set_valid(3, (2,))
+    assert rb.valid_count == 2
+    assert rb.iren == 4
+    assert rb.is_valid(3) and not rb.is_valid(1)
+    rb.clear_valid(3)
+    assert rb.iren == 5
+    assert rb.entries[3] == (2,)  # key stays for mapping cleanup
+
+
+def test_result_block_paper_bitmap_example():
+    """'10110000' -> entries 1, 3, 4 valid (paper's example, 1-indexed)."""
+    rb = ResultBlock(rb_id=0, lba=0, num_slots=8)
+    for slot in (0, 2, 3):
+        rb.set_valid(slot, (slot,))
+    assert rb.valid_count == 3
+    assert rb.iren == 5
+
+
+def test_result_block_slot_bounds():
+    rb = ResultBlock(rb_id=0, lba=0, num_slots=4)
+    with pytest.raises(IndexError):
+        rb.set_valid(4, (1,))
+    with pytest.raises(IndexError):
+        rb.is_valid(-1)
+
+
+def test_result_block_validation():
+    with pytest.raises(ValueError):
+        ResultBlock(rb_id=0, lba=0, num_slots=0)
+    with pytest.raises(ValueError):
+        ResultBlock(rb_id=0, lba=0, num_slots=3, entries=[None] * 4)

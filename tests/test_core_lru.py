@@ -1,0 +1,99 @@
+"""LRU list with working / replace-first regions."""
+
+import pytest
+
+from repro.core.lru import LruList
+
+
+def test_insert_and_get():
+    lru = LruList()
+    lru.insert("a", 1)
+    assert "a" in lru
+    assert lru.get("a") == 1
+    assert lru.get("b") is None
+    assert len(lru) == 1
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        LruList(replace_window=0)
+
+
+def test_pop_lru_order():
+    lru = LruList()
+    for k in "abc":
+        lru.insert(k, k.upper())
+    assert lru.pop_lru() == ("a", "A")
+    assert lru.pop_lru() == ("b", "B")
+
+
+def test_pop_lru_empty_raises():
+    with pytest.raises(KeyError):
+        LruList().pop_lru()
+    with pytest.raises(KeyError):
+        LruList().peek_lru()
+
+
+def test_touch_moves_to_mru():
+    lru = LruList()
+    for k in "abc":
+        lru.insert(k, k)
+    lru.touch("a")
+    assert lru.pop_lru()[0] == "b"
+
+
+def test_get_does_not_touch():
+    lru = LruList()
+    for k in "ab":
+        lru.insert(k, k)
+    lru.get("a")
+    assert lru.peek_lru()[0] == "a"
+
+
+def test_reinsert_moves_to_mru():
+    lru = LruList()
+    for k in "ab":
+        lru.insert(k, k)
+    lru.insert("a", "A2")
+    assert lru.pop_lru()[0] == "b"
+    assert lru.get("a") == "A2"
+
+
+def test_replace_first_region_is_lru_end():
+    lru = LruList(replace_window=3)
+    for k in "abcdefg":
+        lru.insert(k, k)
+    region = lru.replace_first_region()
+    assert [k for k, _ in region] == ["a", "b", "c"]
+
+
+def test_replace_first_region_smaller_than_window():
+    lru = LruList(replace_window=5)
+    lru.insert("x", 1)
+    assert len(lru.replace_first_region()) == 1
+
+
+def test_items_lru_order_full_scan():
+    lru = LruList()
+    for k in "abc":
+        lru.insert(k, k)
+    assert [k for k, _ in lru.items_lru_order()] == ["a", "b", "c"]
+
+
+def test_pop_specific_key():
+    lru = LruList()
+    for k in "abc":
+        lru.insert(k, k)
+    assert lru.pop("b") == "b"
+    assert "b" not in lru
+    with pytest.raises(KeyError):
+        lru.pop("b")
+
+
+def test_keys_and_clear():
+    lru = LruList()
+    for k in "ab":
+        lru.insert(k, k)
+    assert lru.keys() == ["a", "b"]
+    lru.clear()
+    assert len(lru) == 0

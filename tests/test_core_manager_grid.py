@@ -1,0 +1,128 @@
+"""Cache-manager robustness: the policy x scheme x TTL grid, edge-case
+capacities, and property-based random query streams."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CacheConfig, Policy, Scheme
+from repro.core.manager import CacheManager, build_hierarchy_for
+from repro.engine.corpus import CorpusConfig
+from repro.engine.index import InvertedIndex
+from repro.engine.query import Query
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def index():
+    return InvertedIndex(CorpusConfig(num_docs=3000, vocab_size=60, seed=17))
+
+
+def build(index, policy, scheme, ttl_us=0.0, **overrides):
+    kwargs = dict(
+        mem_result_bytes=100 * KB,
+        mem_list_bytes=384 * KB,
+        ssd_result_bytes=512 * KB,
+        ssd_list_bytes=2048 * KB,
+        policy=policy,
+        scheme=scheme,
+        ttl_us=ttl_us,
+    )
+    kwargs.update(overrides)
+    cfg = CacheConfig(**kwargs)
+    return CacheManager(cfg, build_hierarchy_for(cfg, index), index)
+
+
+@pytest.mark.parametrize("policy", list(Policy))
+@pytest.mark.parametrize("scheme", list(Scheme))
+@pytest.mark.parametrize("ttl_us", [0.0, 20_000.0])
+def test_grid_runs_clean_and_consistent(index, policy, scheme, ttl_us):
+    mgr = build(index, policy, scheme, ttl_us)
+    for i in range(150):
+        mgr.process_query(Query(i % 40, (1 + i % 25, 26 + i % 20)))
+        if i % 30 == 29:
+            mgr.check_invariants()
+            mgr.ssd.ftl.nand.check_invariants()
+    assert mgr.stats.queries == 150
+    assert mgr.stats.mean_response_us > 0
+    probs = [p for _, p, _ in mgr.stats.situation_table()]
+    assert sum(probs) == pytest.approx(1.0)
+
+
+def test_zero_result_cache(index):
+    mgr = build(index, Policy.CBLRU, Scheme.HYBRID, mem_result_bytes=0,
+                ssd_result_bytes=0)
+    for i in range(40):
+        mgr.process_query(Query(i % 10, (1 + i % 10,)))
+    assert mgr.stats.result_l1_hits == 0
+    assert mgr.stats.result_misses == 40
+    mgr.check_invariants()
+
+
+def test_zero_list_cache(index):
+    mgr = build(index, Policy.CBLRU, Scheme.HYBRID, mem_list_bytes=0,
+                ssd_list_bytes=0)
+    for i in range(40):
+        mgr.process_query(Query(i % 10, (1 + i % 10,)))
+    assert mgr.stats.list_l1_hits == 0
+    mgr.check_invariants()
+
+
+def test_single_entry_caches(index):
+    mgr = build(index, Policy.CBLRU, Scheme.HYBRID,
+                mem_result_bytes=20 * KB, mem_list_bytes=128 * KB,
+                ssd_result_bytes=128 * KB, ssd_list_bytes=128 * KB)
+    for i in range(60):
+        mgr.process_query(Query(i % 15, (1 + i % 12,)))
+    mgr.check_invariants()
+
+
+def test_tiny_window(index):
+    mgr = build(index, Policy.CBLRU, Scheme.HYBRID, replace_window=1)
+    for i in range(80):
+        mgr.process_query(Query(i % 20, (1 + i % 15, 20 + i % 10)))
+    mgr.check_invariants()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(
+    stream=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 55), st.integers(1, 55)),
+        min_size=5,
+        max_size=120,
+    ),
+    policy=st.sampled_from(list(Policy)),
+)
+def test_random_streams_preserve_invariants(index, stream, policy):
+    mgr = build(index, policy, Scheme.HYBRID)
+    for qid, a, b in stream:
+        terms = (a,) if a == b else (a, b)
+        mgr.process_query(Query(qid, terms))
+    mgr.check_invariants()
+    mgr.ssd.ftl.nand.check_invariants()
+    stats = mgr.stats
+    assert stats.queries == len(stream)
+    assert (stats.result_l1_hits + stats.result_l2_hits + stats.result_misses
+            == stats.queries)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(
+    stream=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(1, 50)),
+        min_size=5,
+        max_size=80,
+    ),
+)
+def test_random_streams_with_ttl(index, stream):
+    mgr = build(index, Policy.CBLRU, Scheme.HYBRID, ttl_us=5_000.0)
+    for qid, term in stream:
+        mgr.process_query(Query(qid, (term,)))
+    mgr.check_invariants()
+    s = mgr.stats
+    assert s.queries == len(stream)

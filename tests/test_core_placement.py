@@ -1,0 +1,79 @@
+"""Write buffer and RB assembly (data placement, Section VI.B)."""
+
+import pytest
+
+from repro.core.entries import CachedResult
+from repro.core.placement import WriteBuffer
+
+
+def entry(i):
+    return CachedResult(query_key=(i,), nbytes=20480)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WriteBuffer(entries_per_rb=0)
+
+
+def test_accumulates_until_full():
+    wb = WriteBuffer(entries_per_rb=3)
+    assert wb.add(entry(1), already_on_ssd=False) is None
+    assert wb.add(entry(2), already_on_ssd=False) is None
+    batch = wb.add(entry(3), already_on_ssd=False)
+    assert batch is not None
+    assert [e.query_key for e in batch] == [(1,), (2,), (3,)]
+    assert len(wb) == 0
+    assert wb.flushes == 1
+
+
+def test_replaceable_entries_dropped():
+    """Section VI.C: entries still on SSD in replaceable state skip rewrite."""
+    wb = WriteBuffer(entries_per_rb=2)
+    assert wb.add(entry(1), already_on_ssd=True) is None
+    assert len(wb) == 0
+    assert wb.dropped_replaceable == 1
+
+
+def test_take_pulls_staged_entry_back():
+    wb = WriteBuffer(entries_per_rb=3)
+    wb.add(entry(1), already_on_ssd=False)
+    wb.add(entry(2), already_on_ssd=False)
+    taken = wb.take((1,))
+    assert taken is not None and taken.query_key == (1,)
+    assert len(wb) == 1
+    assert wb.take((1,)) is None  # gone now
+    # The buffer needs two more entries to flush again.
+    assert wb.add(entry(3), already_on_ssd=False) is None
+    assert wb.add(entry(4), already_on_ssd=False) is not None
+
+
+def test_duplicate_key_replaces_staged_entry():
+    wb = WriteBuffer(entries_per_rb=3)
+    wb.add(entry(1), already_on_ssd=False)
+    newer = CachedResult(query_key=(1,), nbytes=20480, freq=9)
+    wb.add(newer, already_on_ssd=False)
+    assert len(wb) == 1
+    assert wb.take((1,)).freq == 9
+
+
+def test_contains():
+    wb = WriteBuffer(entries_per_rb=4)
+    wb.add(entry(1), already_on_ssd=False)
+    assert (1,) in wb
+    assert (2,) not in wb
+
+
+def test_drain():
+    wb = WriteBuffer(entries_per_rb=10)
+    for i in range(4):
+        wb.add(entry(i), already_on_ssd=False)
+    drained = wb.drain()
+    assert len(drained) == 4
+    assert len(wb) == 0
+
+
+def test_fifo_batch_order_preserves_eviction_order():
+    wb = WriteBuffer(entries_per_rb=2)
+    wb.add(entry(5), already_on_ssd=False)
+    batch = wb.add(entry(3), already_on_ssd=False)
+    assert [e.query_key for e in batch] == [(5,), (3,)]

@@ -1,0 +1,85 @@
+"""Data selection: Formula 1, Formula 2, and the TEV filter."""
+
+import pytest
+
+from repro.core.selection import (
+    SelectionPolicy,
+    efficiency_value,
+    ssd_cache_blocks,
+)
+
+KB = 1024
+SB = 128 * KB
+
+
+def test_formula1_paper_example():
+    """The paper's worked example: SI=1000KB, PU=50%, SB=128KB -> 4 blocks."""
+    assert ssd_cache_blocks(1000 * KB, 0.5, SB) == 4
+
+
+def test_formula1_rounds_up():
+    assert ssd_cache_blocks(SB + 1, 1.0, SB) == 2
+    assert ssd_cache_blocks(SB, 1.0, SB) == 1
+    assert ssd_cache_blocks(1, 1.0, SB) == 1
+
+
+def test_formula1_zero_size():
+    assert ssd_cache_blocks(0, 0.5, SB) == 0
+
+
+def test_formula1_validation():
+    with pytest.raises(ValueError):
+        ssd_cache_blocks(-1, 0.5, SB)
+    with pytest.raises(ValueError):
+        ssd_cache_blocks(100, 0.0, SB)
+    with pytest.raises(ValueError):
+        ssd_cache_blocks(100, 1.5, SB)
+    with pytest.raises(ValueError):
+        ssd_cache_blocks(100, 0.5, 0)
+
+
+def test_formula2_ev():
+    assert efficiency_value(100, 4) == pytest.approx(25.0)
+    assert efficiency_value(0, 4) == 0.0
+
+
+def test_formula2_validation():
+    with pytest.raises(ValueError):
+        efficiency_value(-1, 4)
+    with pytest.raises(ValueError):
+        efficiency_value(1, 0)
+
+
+def test_cost_based_selection_quantises():
+    policy = SelectionPolicy(block_bytes=SB, tev=0.0, cost_based=True)
+    d = policy.select_list(si_bytes=1000 * KB, pu=0.5, freq=10)
+    assert d.admit
+    assert d.sc_blocks == 4
+    assert d.ev == pytest.approx(2.5)
+
+
+def test_tev_filters_low_value_lists():
+    policy = SelectionPolicy(block_bytes=SB, tev=5.0, cost_based=True)
+    cold = policy.select_list(si_bytes=1000 * KB, pu=0.5, freq=10)  # EV=2.5
+    hot = policy.select_list(si_bytes=1000 * KB, pu=0.5, freq=100)  # EV=25
+    assert not cold.admit
+    assert hot.admit
+
+
+def test_baseline_admits_everything_at_full_size():
+    policy = SelectionPolicy(block_bytes=SB, tev=100.0, cost_based=False)
+    d = policy.select_list(si_bytes=1000 * KB, pu=0.5, freq=1)
+    assert d.admit  # TEV ignored by the baseline
+    assert d.sc_blocks == 8  # full 1000 KB, no PU discount
+
+
+def test_zero_size_never_admitted():
+    policy = SelectionPolicy(block_bytes=SB)
+    assert not policy.select_list(si_bytes=0, pu=0.5, freq=5).admit
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SelectionPolicy(block_bytes=0)
+    with pytest.raises(ValueError):
+        SelectionPolicy(block_bytes=SB, tev=-1.0)

@@ -1,0 +1,135 @@
+"""SSD cache-file allocators: whole-block and byte-granular."""
+
+import pytest
+
+from repro.core.ssd_region import BlockRegion, ByteRegion
+
+SB = 128 * 1024
+
+
+# -- BlockRegion ---------------------------------------------------------------
+
+def test_block_region_geometry():
+    r = BlockRegion(base_lba=1000, num_blocks=10, block_bytes=SB)
+    assert r.sectors_per_block == 256
+    assert r.free_count == 10
+    assert r.lba_of(0) == 1000
+    assert r.lba_of(3) == 1000 + 3 * 256
+
+
+def test_block_region_validation():
+    with pytest.raises(ValueError):
+        BlockRegion(0, 4, 1000)  # not sector aligned
+    with pytest.raises(ValueError):
+        BlockRegion(-1, 4, SB)
+    r = BlockRegion(0, 4, SB)
+    with pytest.raises(IndexError):
+        r.lba_of(4)
+
+
+def test_block_alloc_initially_sequential():
+    r = BlockRegion(0, 8, SB)
+    assert r.alloc(3) == [0, 1, 2]
+    assert r.alloc(2) == [3, 4]
+    assert r.free_count == 3
+
+
+def test_block_alloc_insufficient_returns_none():
+    r = BlockRegion(0, 4, SB)
+    assert r.alloc(5) is None
+    assert r.free_count == 4  # nothing consumed on failure
+
+
+def test_block_free_and_realloc():
+    r = BlockRegion(0, 4, SB)
+    blocks = r.alloc(4)
+    r.free(blocks[:2])
+    assert r.free_count == 2
+    assert sorted(r.alloc(2)) == sorted(blocks[:2])
+
+
+def test_block_free_validation():
+    r = BlockRegion(0, 4, SB)
+    with pytest.raises(IndexError):
+        r.free([99])
+    with pytest.raises(ValueError):
+        r.alloc(-1)
+
+
+# -- ByteRegion --------------------------------------------------------------------
+
+def test_byte_region_first_fit():
+    r = ByteRegion(base_lba=0, size_bytes=10 * 512)
+    a = r.alloc(512)
+    b = r.alloc(1024)
+    assert a == 0 and b == 1
+    assert r.free_sectors == 7
+
+
+def test_byte_region_alloc_rounds_to_sectors():
+    r = ByteRegion(0, 10 * 512)
+    r.alloc(100)  # rounds to 1 sector
+    assert r.free_sectors == 9
+
+
+def test_byte_region_exhaustion_returns_none():
+    r = ByteRegion(0, 2 * 512)
+    assert r.alloc(2 * 512) == 0
+    assert r.alloc(1) is None
+
+
+def test_byte_region_free_coalesces():
+    r = ByteRegion(0, 6 * 512)  # exactly three 2-sector extents
+    a = r.alloc(2 * 512)
+    b = r.alloc(2 * 512)
+    c = r.alloc(2 * 512)
+    r.free(a, 2 * 512)
+    r.free(c, 2 * 512)
+    # a and c are separated by b: no contiguous 4-sector run exists.
+    assert r.alloc(4 * 512) is None
+    r.free(b, 2 * 512)
+    # Now everything coalesces: a full-region alloc must succeed.
+    assert r.alloc(6 * 512) == 0
+
+
+def test_byte_region_double_free_detected():
+    r = ByteRegion(0, 8 * 512)
+    a = r.alloc(4 * 512)
+    r.free(a, 4 * 512)
+    with pytest.raises(ValueError):
+        r.free(a, 4 * 512)
+
+
+def test_byte_region_out_of_range_free():
+    r = ByteRegion(0, 4 * 512)
+    with pytest.raises(ValueError):
+        r.free(100, 512)
+
+
+def test_byte_region_base_lba_offsets():
+    r = ByteRegion(base_lba=5000, size_bytes=4 * 512)
+    assert r.alloc(512) == 5000
+    r.free(5000, 512)
+    assert r.alloc(512) == 5000
+
+
+def test_byte_region_validation():
+    with pytest.raises(ValueError):
+        ByteRegion(-1, 512)
+    r = ByteRegion(0, 4 * 512)
+    with pytest.raises(ValueError):
+        r.alloc(0)
+    with pytest.raises(ValueError):
+        r.free(0, 0)
+
+
+def test_byte_region_fragmentation_scenario():
+    """Interleaved alloc/free produces fragments a big alloc cannot use."""
+    r = ByteRegion(0, 100 * 512)
+    allocs = [r.alloc(10 * 512) for _ in range(10)]
+    assert None not in allocs
+    for lba in allocs[::2]:  # free every other extent: 5 x 10 sectors
+        r.free(lba, 10 * 512)
+    assert r.free_sectors == 50
+    assert r.alloc(20 * 512) is None  # no contiguous 20-sector run
+    assert r.alloc(10 * 512) is not None

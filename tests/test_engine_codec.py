@@ -1,0 +1,99 @@
+"""Posting-list compression codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.codec import (
+    decode_posting_list,
+    encode_posting_list,
+    encoded_size,
+    varbyte_decode,
+    varbyte_encode,
+)
+from repro.engine.postings import POSTING_BYTES, generate_posting_list
+
+
+def test_varbyte_roundtrip_basics():
+    values = np.array([0, 1, 127, 128, 300, 2**20, 2**40])
+    assert np.array_equal(varbyte_decode(varbyte_encode(values)), values)
+
+
+def test_varbyte_single_byte_for_small_values():
+    assert len(varbyte_encode(np.array([0]))) == 1
+    assert len(varbyte_encode(np.array([127]))) == 1
+    assert len(varbyte_encode(np.array([128]))) == 2
+
+
+def test_varbyte_rejects_negative():
+    with pytest.raises(ValueError):
+        varbyte_encode(np.array([-1]))
+
+
+def test_varbyte_truncated_stream_detected():
+    data = varbyte_encode(np.array([300]))
+    with pytest.raises(ValueError):
+        varbyte_decode(data[:-1])
+
+
+def test_varbyte_count_limits_output():
+    data = varbyte_encode(np.array([1, 2, 3]))
+    assert varbyte_decode(data, count=2).tolist() == [1, 2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 2**50), max_size=60))
+def test_varbyte_roundtrip_property(values):
+    arr = np.array(values, dtype=np.int64)
+    assert np.array_equal(varbyte_decode(varbyte_encode(arr)), arr)
+
+
+def test_posting_list_roundtrip():
+    plist = generate_posting_list(7, 500, 10_000, seed=3)
+    decoded = decode_posting_list(encode_posting_list(plist))
+    assert decoded.term_id == 7
+    assert np.array_equal(decoded.doc_ids, plist.doc_ids)
+    assert np.array_equal(decoded.tfs, plist.tfs)
+
+
+def test_empty_posting_list_roundtrip():
+    plist = generate_posting_list(3, 0, 100, seed=0)
+    decoded = decode_posting_list(encode_posting_list(plist))
+    assert len(decoded) == 0
+    assert decoded.term_id == 3
+
+
+def test_truncated_payload_detected():
+    plist = generate_posting_list(1, 50, 1000, seed=1)
+    data = encode_posting_list(plist)
+    with pytest.raises(ValueError):
+        decode_posting_list(data[: len(data) // 2])
+
+
+def test_compression_beats_fixed_width():
+    """Delta + varbyte must beat the 8 B/posting raw layout."""
+    plist = generate_posting_list(0, 5_000, 100_000, seed=2)
+    encoded = encode_posting_list(plist)
+    assert len(encoded) < plist.nbytes
+    ratio = len(encoded) / (len(plist) * POSTING_BYTES)
+    assert ratio < 0.8
+
+
+def test_encoded_size_is_exact():
+    for df, n_docs, seed in ((10, 100, 1), (500, 10_000, 2), (3000, 50_000, 3)):
+        plist = generate_posting_list(5, df, n_docs, seed=seed)
+        assert encoded_size(plist) == len(encode_posting_list(plist))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    df=st.integers(1, 300),
+    seed=st.integers(0, 10**6),
+)
+def test_posting_roundtrip_property(df, seed):
+    plist = generate_posting_list(2, df, 5_000, seed=seed)
+    decoded = decode_posting_list(encode_posting_list(plist))
+    assert np.array_equal(decoded.doc_ids, plist.doc_ids)
+    assert np.array_equal(decoded.tfs, plist.tfs)
+    assert encoded_size(plist) == len(encode_posting_list(plist))

@@ -1,0 +1,95 @@
+"""Synthetic corpus statistics."""
+
+import numpy as np
+import pytest
+
+from repro.engine.corpus import (
+    CorpusConfig,
+    build_corpus_stats,
+    zipf_mandelbrot_probs,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CorpusConfig(num_docs=0)
+    with pytest.raises(ValueError):
+        CorpusConfig(vocab_size=0)
+    with pytest.raises(ValueError):
+        CorpusConfig(zipf_s=0.0)
+
+
+def test_zipf_probs_normalised_and_decreasing():
+    p = zipf_mandelbrot_probs(100, 1.0, 2.7)
+    assert p.sum() == pytest.approx(1.0)
+    assert (np.diff(p) < 0).all()
+
+
+def test_zipf_probs_validation():
+    with pytest.raises(ValueError):
+        zipf_mandelbrot_probs(0, 1.0, 2.7)
+
+
+def test_stats_shapes_and_consistency(small_corpus):
+    stats = small_corpus
+    n = stats.config.vocab_size
+    assert stats.num_terms == n
+    assert stats.term_probs.shape == (n,)
+    stats.validate()  # must not raise
+
+
+def test_doc_freqs_bounded(small_corpus):
+    cfg = small_corpus.config
+    assert small_corpus.doc_freqs.min() >= 1
+    assert small_corpus.doc_freqs.max() <= cfg.num_docs
+
+
+def test_coll_freq_at_least_doc_freq(small_corpus):
+    assert (small_corpus.coll_freqs >= small_corpus.doc_freqs).all()
+
+
+def test_head_terms_have_larger_lists(small_corpus):
+    """Zipf: the first 10% of term ids dominate the last 50%."""
+    df = small_corpus.doc_freqs
+    head = df[: len(df) // 10].mean()
+    tail = df[len(df) // 2:].mean()
+    assert head > 5 * tail
+
+
+def test_determinism():
+    a = build_corpus_stats(CorpusConfig(num_docs=1000, vocab_size=100, seed=1))
+    b = build_corpus_stats(CorpusConfig(num_docs=1000, vocab_size=100, seed=1))
+    assert np.array_equal(a.doc_freqs, b.doc_freqs)
+    assert np.array_equal(a.utilization, b.utilization)
+
+
+def test_seed_changes_output():
+    a = build_corpus_stats(CorpusConfig(num_docs=1000, vocab_size=100, seed=1))
+    b = build_corpus_stats(CorpusConfig(num_docs=1000, vocab_size=100, seed=2))
+    assert not np.array_equal(a.doc_freqs, b.doc_freqs)
+
+
+def test_utilization_in_unit_interval(small_corpus):
+    u = small_corpus.utilization
+    assert (u > 0).all() and (u <= 1).all()
+
+
+def test_long_lists_are_partially_used(small_corpus):
+    """Fig. 3a: early termination bites hardest on the longest lists."""
+    df = small_corpus.doc_freqs
+    u = small_corpus.utilization
+    longest = np.argsort(-df)[:10]
+    shortest = np.argsort(df)[:10]
+    assert u[longest].mean() < u[shortest].mean()
+
+
+def test_tiny_lists_fully_used(small_corpus):
+    df = small_corpus.doc_freqs
+    u = small_corpus.utilization
+    assert (u[df <= 16] == 1.0).all()
+
+
+def test_paper_scale_preset():
+    cfg = CorpusConfig.paper_scale(2_000_000)
+    assert cfg.num_docs == 2_000_000
+    assert cfg.vocab_size == 50_000

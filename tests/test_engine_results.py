@@ -1,0 +1,41 @@
+"""Result entries and search results."""
+
+import pytest
+
+from repro.engine.results import (
+    DEFAULT_TOP_K,
+    DOC_SUMMARY_BYTES,
+    ResultEntry,
+    SearchResult,
+)
+
+
+def test_paper_constants():
+    assert DEFAULT_TOP_K == 50
+    assert DOC_SUMMARY_BYTES == 400
+
+
+def test_entry_size_is_fixed_length():
+    """The paper treats result entries as fixed-length (~20 KB for K=50)."""
+    full = ResultEntry(query_key=(1,), results=tuple(
+        SearchResult(doc_id=i, score=float(50 - i)) for i in range(50)
+    ))
+    sparse = ResultEntry(query_key=(2,), results=(SearchResult(0, 1.0),))
+    assert full.nbytes == 50 * 400 == 20_000
+    assert sparse.nbytes == full.nbytes  # size independent of hit count
+
+
+def test_entry_len_counts_actual_results():
+    entry = ResultEntry(query_key=(1,), results=(SearchResult(3, 2.0),),
+                        top_k=10)
+    assert len(entry) == 1
+    assert entry.nbytes == 10 * DOC_SUMMARY_BYTES
+
+
+def test_entries_are_immutable():
+    entry = ResultEntry(query_key=(1,), results=())
+    with pytest.raises(AttributeError):
+        entry.top_k = 5
+    result = SearchResult(doc_id=1, score=0.5)
+    with pytest.raises(AttributeError):
+        result.score = 1.0

@@ -1,0 +1,143 @@
+"""Page-mapping FTL behaviour (the paper's baseline FTL)."""
+
+import pytest
+
+from repro.flash.constants import FlashConfig
+from repro.flash.ftl_page import PageMappingFTL
+
+
+@pytest.fixture
+def ftl(tiny_flash):
+    return PageMappingFTL(tiny_flash)
+
+
+def test_write_then_read_maps(ftl):
+    latency = ftl.write(0)
+    assert latency >= ftl.config.write_us
+    assert ftl.ppn_of(0) >= 0
+    assert ftl.read(0) == ftl.config.read_us
+    assert ftl.mapped_lpn_count() == 1
+
+
+def test_read_unmapped_charges_one_read(ftl):
+    assert ftl.read(5) == ftl.config.read_us
+    assert ftl.stats.host_page_reads == 1
+
+
+def test_overwrite_relocates_and_invalidates(ftl):
+    ftl.write(3)
+    first = ftl.ppn_of(3)
+    ftl.write(3)
+    second = ftl.ppn_of(3)
+    assert second != first
+    assert ftl.mapped_lpn_count() == 1  # still one logical page
+
+
+def test_trim_unmaps(ftl):
+    ftl.write(7)
+    assert ftl.trim(7) == 0.0
+    assert ftl.ppn_of(7) == -1
+    assert ftl.mapped_lpn_count() == 0
+    assert ftl.stats.trimmed_pages == 1
+
+
+def test_trim_unmapped_is_noop(ftl):
+    assert ftl.trim(9) == 0.0
+    assert ftl.stats.trimmed_pages == 0
+
+
+def test_lpn_bounds_checked(ftl):
+    with pytest.raises(IndexError):
+        ftl.read(ftl.num_lpns)
+    with pytest.raises(IndexError):
+        ftl.write(-1)
+
+
+def test_gc_reclaims_space_under_churn(ftl):
+    # Overwrite a small working set far beyond physical capacity.
+    working_set = ftl.num_lpns // 4
+    for i in range(ftl.config.total_pages * 2):
+        ftl.write(i % working_set)
+    assert ftl.stats.block_erases > 0
+    assert ftl.mapped_lpn_count() == working_set
+    ftl.nand.check_invariants()
+    # Every mapped lpn still resolves to a VALID physical page.
+    for lpn in range(working_set):
+        assert ftl.ppn_of(lpn) >= 0
+
+
+def test_gc_latency_charged_to_triggering_write(ftl):
+    baseline = ftl.config.write_us
+    saw_gc_cost = False
+    for i in range(ftl.config.total_pages * 2):
+        if ftl.write(i % 8) > baseline:
+            saw_gc_cost = True
+            break
+    assert saw_gc_cost, "some write must absorb GC cost"
+
+
+def test_write_amplification_grows_with_random_churn(tiny_flash):
+    import numpy as np
+
+    ftl = PageMappingFTL(tiny_flash)
+    rng = np.random.default_rng(0)
+    for lpn in rng.integers(0, ftl.num_lpns, size=tiny_flash.total_pages * 3):
+        ftl.write(int(lpn))
+    assert ftl.stats.write_amplification > 1.0
+
+
+def test_sequential_block_overwrites_are_cheap(tiny_flash):
+    """Block-aligned sequential overwrites should erase without copying."""
+    ftl = PageMappingFTL(tiny_flash)
+    ppb = tiny_flash.pages_per_block
+    lblocks = ftl.num_lpns // ppb
+    for round_ in range(4):
+        for lb in range(lblocks):
+            for off in range(ppb):
+                ftl.write(lb * ppb + off)
+    # Whole logical blocks are invalidated together, so GC victims are
+    # fully invalid: copy-back should be (near) zero.
+    assert ftl.stats.gc_page_writes <= ftl.stats.host_page_writes * 0.01
+
+
+def test_span_write_equivalent_semantics(tiny_flash):
+    span = PageMappingFTL(tiny_flash)
+    loop = PageMappingFTL(tiny_flash)
+    span.write_span(10, 40)
+    for lpn in range(10, 50):
+        loop.write(lpn)
+    assert span.mapped_lpn_count() == loop.mapped_lpn_count()
+    for lpn in range(10, 50):
+        assert span.ppn_of(lpn) >= 0
+
+
+def test_span_read_latency_striped_across_channels(ftl):
+    ftl.write_span(0, 16)
+    expected_pages = -(-16 // ftl.config.channels)
+    assert ftl.read_span(0, 16) == pytest.approx(expected_pages * ftl.config.read_us)
+
+
+def test_span_trim_unmaps_range(ftl):
+    ftl.write_span(0, 32)
+    ftl.trim_span(8, 16)
+    assert ftl.mapped_lpn_count() == 16
+    assert ftl.ppn_of(8) == -1
+    assert ftl.ppn_of(0) >= 0
+    assert ftl.ppn_of(24) >= 0
+
+
+def test_span_bounds_checked(ftl):
+    with pytest.raises(IndexError):
+        ftl.write_span(ftl.num_lpns - 1, 2)
+    with pytest.raises(ValueError):
+        ftl.read_span(0, 0)
+
+
+def test_out_of_space_without_gc_candidates():
+    """Filling every logical page sequentially must not dead-lock GC."""
+    cfg = FlashConfig(num_blocks=16, overprovision=0.2)
+    ftl = PageMappingFTL(cfg)
+    for lpn in range(ftl.num_lpns):
+        ftl.write(lpn)
+    assert ftl.mapped_lpn_count() == ftl.num_lpns
+    ftl.nand.check_invariants()

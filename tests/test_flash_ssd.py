@@ -1,0 +1,92 @@
+"""Sector-addressed SSD front-end."""
+
+import pytest
+
+from repro.flash.constants import FlashConfig
+from repro.flash.ftl_page import PageMappingFTL
+from repro.flash.ssd import SimulatedSSD
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def ssd(tiny_flash):
+    return SimulatedSSD(tiny_flash)
+
+
+def test_ftl_factory_names(tiny_flash):
+    for name in ("page", "block", "fast", "dftl"):
+        assert SimulatedSSD(tiny_flash, ftl=name).ftl is not None
+    with pytest.raises(ValueError):
+        SimulatedSSD(tiny_flash, ftl="bogus")
+
+
+def test_explicit_ftl_instance(tiny_flash):
+    ftl = PageMappingFTL(tiny_flash)
+    ssd = SimulatedSSD(tiny_flash, ftl=ftl)
+    assert ssd.ftl is ftl
+
+
+def test_mismatched_ftl_config_rejected(tiny_flash):
+    other = FlashConfig(num_blocks=64)
+    with pytest.raises(ValueError):
+        SimulatedSSD(tiny_flash, ftl=PageMappingFTL(other))
+
+
+def test_capacity_reflects_overprovisioning(tiny_flash):
+    ssd = SimulatedSSD(tiny_flash)
+    assert ssd.capacity_bytes == tiny_flash.logical_bytes
+    assert ssd.capacity_bytes < tiny_flash.physical_bytes
+
+
+def test_write_read_advance_shared_clock(tiny_flash):
+    clock = VirtualClock()
+    ssd = SimulatedSSD(tiny_flash, clock=clock)
+    ssd.write(0, 4096)   # 2 pages, striped over channels
+    ssd.read(0, 4096)
+    pages = -(-2 // tiny_flash.channels)
+    expected = pages * tiny_flash.write_us + pages * tiny_flash.read_us
+    assert clock.now_us == pytest.approx(expected)
+    assert clock.busy_us("ssd") == pytest.approx(expected)
+
+
+def test_partial_page_requests_round_to_pages(ssd):
+    latency = ssd.read(0, 1)  # 1 byte -> 1 page
+    assert latency == pytest.approx(ssd.config.read_us)
+    # 2048 bytes starting mid-page crosses a boundary -> 2 pages, which
+    # still fits one channel-stripe round with the default 4 channels.
+    latency = ssd.read(3, 2048)
+    assert latency == pytest.approx(ssd.config.read_us)
+
+
+def test_request_validation(ssd):
+    with pytest.raises(ValueError):
+        ssd.read(-1, 10)
+    with pytest.raises(ValueError):
+        ssd.read(0, 0)
+    with pytest.raises(ValueError):
+        ssd.read(0, ssd.capacity_bytes + 512)
+
+
+def test_trim_keeps_partial_pages(ssd):
+    ssd.write(0, 8192)  # pages 0-3
+    # Trim bytes [1024, 7168): only pages 1 and 2 are wholly inside.
+    ssd.trim(2, 6144)
+    assert ssd.ftl.mapped_lpn_count() == 2
+
+
+def test_erase_count_and_mean_access_time(ssd):
+    cap = ssd.capacity_bytes
+    for round_ in range(3):
+        for off in range(0, cap // 2, 128 * 1024):
+            ssd.write(off // 512, 128 * 1024)
+    assert ssd.erase_count >= 0
+    assert ssd.mean_access_time_us > 0
+    report = ssd.wear()
+    assert report.total_erases == ssd.erase_count
+
+
+def test_reset_counters_keeps_wear(ssd):
+    ssd.write(0, 128 * 1024)
+    ssd.reset_counters()
+    assert ssd.counters.count("write_ops") == 0
+    assert ssd.ftl.stats.host_page_writes > 0  # FTL history persists

@@ -1,0 +1,74 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    clock = VirtualClock()
+    assert clock.now_us == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(5.0).now_us == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advance_accumulates_and_returns_now():
+    clock = VirtualClock()
+    assert clock.advance(10.0) == 10.0
+    assert clock.advance(2.5) == 12.5
+    assert clock.now_us == 12.5
+
+
+def test_advance_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_unit_conversions():
+    clock = VirtualClock()
+    clock.advance(2_500_000.0)
+    assert clock.now_ms == pytest.approx(2500.0)
+    assert clock.now_s == pytest.approx(2.5)
+
+
+def test_charge_tracks_channels_independently():
+    clock = VirtualClock()
+    clock.charge("ssd", 5.0)
+    clock.charge("hdd", 7.0)
+    clock.charge("ssd", 3.0)
+    assert clock.busy_us("ssd") == pytest.approx(8.0)
+    assert clock.busy_us("hdd") == pytest.approx(7.0)
+    assert set(clock.channels()) == {"ssd", "hdd"}
+
+
+def test_charge_does_not_advance_now():
+    clock = VirtualClock()
+    clock.charge("x", 100.0)
+    assert clock.now_us == 0.0
+
+
+def test_charge_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.charge("x", -1.0)
+
+
+def test_unknown_channel_reads_zero():
+    assert VirtualClock().busy_us("nope") == 0.0
+
+
+def test_reset_clears_time_and_channels():
+    clock = VirtualClock()
+    clock.advance(9.0)
+    clock.charge("a", 1.0)
+    clock.reset()
+    assert clock.now_us == 0.0
+    assert clock.channels() == ()

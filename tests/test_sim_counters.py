@@ -1,0 +1,70 @@
+"""Counter and CounterSet behaviour."""
+
+import pytest
+
+from repro.sim.counters import Counter, CounterSet
+
+
+def test_counter_add_accumulates():
+    c = Counter("x")
+    c.add(10.0)
+    c.add(20.0)
+    assert c.count == 2
+    assert c.total == pytest.approx(30.0)
+    assert c.mean == pytest.approx(15.0)
+
+
+def test_counter_mean_empty_is_zero():
+    assert Counter("x").mean == 0.0
+
+
+def test_counter_batch_n():
+    c = Counter("x")
+    c.add(100.0, n=4)
+    assert c.count == 4
+    assert c.mean == pytest.approx(25.0)
+
+
+def test_counter_reset():
+    c = Counter("x")
+    c.add(5.0)
+    c.reset()
+    assert c.count == 0 and c.total == 0.0
+
+
+def test_counterset_creates_on_demand():
+    cs = CounterSet()
+    assert "reads" not in cs
+    cs["reads"].add(1.0)
+    assert "reads" in cs
+    assert cs.count("reads") == 1
+
+
+def test_counterset_shorthand_add():
+    cs = CounterSet()
+    cs.add("w", 7.0, n=2)
+    assert cs.count("w") == 2
+    assert cs.total("w") == pytest.approx(7.0)
+
+
+def test_counterset_missing_reads_zero():
+    cs = CounterSet()
+    assert cs.count("nope") == 0
+    assert cs.total("nope") == 0.0
+
+
+def test_counterset_iteration_and_len():
+    cs = CounterSet()
+    cs.add("a")
+    cs.add("b")
+    assert len(cs) == 2
+    assert {c.name for c in cs} == {"a", "b"}
+
+
+def test_counterset_snapshot_and_reset():
+    cs = CounterSet()
+    cs.add("a", 3.0)
+    snap = cs.snapshot()
+    assert snap == {"a": (1, 3.0)}
+    cs.reset()
+    assert cs.count("a") == 0

@@ -1,0 +1,89 @@
+"""FIFO queueing simulation and the open-loop drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.sim.queueing import simulate_fifo_queue
+from repro.workloads.openloop import collect_service_times, load_sweep
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simulate_fifo_queue(np.array([]), 10.0)
+    with pytest.raises(ValueError):
+        simulate_fifo_queue(np.array([0.0]), 10.0)
+    with pytest.raises(ValueError):
+        simulate_fifo_queue(np.array([10.0]), 0.0)
+    with pytest.raises(ValueError):
+        load_sweep(np.array([10.0]), [])
+
+
+def test_light_load_has_no_queueing():
+    """At vanishing load, response ~= service."""
+    service = np.full(2000, 1000.0)  # 1 ms
+    result = simulate_fifo_queue(service, offered_qps=1.0, seed=1)  # rho=0.001
+    assert result.mean_wait_us < 10.0
+    assert result.mean_response_us == pytest.approx(1000.0, rel=0.02)
+    assert not result.saturated
+    assert result.utilization < 0.01
+
+
+def test_overload_saturates():
+    service = np.full(2000, 1000.0)  # capacity = 1000 qps
+    result = simulate_fifo_queue(service, offered_qps=5000.0, seed=1)
+    assert result.saturated
+    assert result.utilization > 0.95
+    assert result.mean_wait_us > 10 * 1000.0
+
+
+def test_wait_grows_with_load():
+    rng = np.random.default_rng(2)
+    service = rng.exponential(1000.0, size=5000)
+    waits = [
+        simulate_fifo_queue(service, qps, seed=3).mean_wait_us
+        for qps in (100.0, 400.0, 800.0)
+    ]
+    assert waits[0] < waits[1] < waits[2]
+
+
+def test_mg1_wait_matches_pollaczek_khinchine():
+    """M/M/1 at rho=0.5: W_q = rho/(1-rho) * E[S] = E[S]."""
+    rng = np.random.default_rng(4)
+    service = rng.exponential(1000.0, size=200_000)
+    result = simulate_fifo_queue(service, offered_qps=500.0, seed=5)
+    assert result.mean_wait_us == pytest.approx(1000.0, rel=0.15)
+
+
+def test_percentiles_ordered():
+    rng = np.random.default_rng(6)
+    service = rng.exponential(500.0, size=3000)
+    r = simulate_fifo_queue(service, 800.0, seed=7)
+    assert r.p50_us <= r.p95_us <= r.p99_us
+    assert r.mean_response_us >= r.mean_wait_us
+
+
+def test_deterministic_given_seed():
+    service = np.random.default_rng(8).exponential(1000.0, size=1000)
+    a = simulate_fifo_queue(service, 300.0, seed=9)
+    b = simulate_fifo_queue(service, 300.0, seed=9)
+    assert a.mean_response_us == b.mean_response_us
+
+
+def test_collect_service_times_and_sweep(small_index, small_log):
+    cfg = CacheConfig.paper_split(mem_bytes=1 << 20, ssd_bytes=8 << 20)
+    service = collect_service_times(small_index, small_log, cfg,
+                                    warmup_queries=100)
+    assert service.size == len(small_log) - 100
+    assert (service > 0).all()
+    capacity = 1e6 / service.mean()
+    results = load_sweep(service, [capacity * 0.2, capacity * 0.8])
+    assert results[0].mean_response_us < results[1].mean_response_us
+    assert not results[0].saturated
+
+
+def test_collect_warmup_overflow_rejected(small_index, small_log):
+    cfg = CacheConfig.paper_split(mem_bytes=1 << 20)
+    with pytest.raises(ValueError):
+        collect_service_times(small_index, small_log, cfg,
+                              warmup_queries=len(small_log) + 1)

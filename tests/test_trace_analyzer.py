@@ -1,0 +1,82 @@
+"""Trace analysis statistics."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analyzer import analyze_trace
+from repro.trace.record import Trace
+
+
+def make(lbas, sizes=None, reads=None):
+    n = len(lbas)
+    return Trace(
+        np.array(lbas, dtype=np.int64),
+        np.array(sizes if sizes is not None else [512] * n, dtype=np.int64),
+        np.array(reads if reads is not None else [True] * n),
+    )
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        analyze_trace(make([]))
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        analyze_trace(make([0]), region_sectors=0)
+
+
+def test_read_fraction():
+    t = make([0, 1, 2, 3], reads=[True, True, True, False])
+    assert analyze_trace(t).read_fraction == pytest.approx(0.75)
+
+
+def test_sequential_trace_not_random():
+    # Back-to-back: each request starts where the previous ended.
+    t = make([0, 8, 16, 24], sizes=[4096] * 4)
+    a = analyze_trace(t)
+    assert a.random_fraction == 0.0
+    assert a.skipped_read_fraction == 0.0
+
+
+def test_skipped_reads_detected():
+    # Forward jumps smaller than the window but not contiguous.
+    t = make([0, 100, 200, 300], sizes=[512] * 4)
+    a = analyze_trace(t, skip_window_sectors=4096)
+    assert a.skipped_read_fraction == 1.0
+    assert a.random_fraction == 1.0  # skips are non-sequential too
+
+
+def test_far_jumps_are_random_not_skipped():
+    t = make([0, 10**6, 2 * 10**6])
+    a = analyze_trace(t, skip_window_sectors=4096)
+    assert a.skipped_read_fraction == 0.0
+    assert a.random_fraction == 1.0
+
+
+def test_backward_jumps_not_skipped():
+    t = make([10**6, 0, 10**6])
+    assert analyze_trace(t).skipped_read_fraction == 0.0
+
+
+def test_locality_uniform_vs_hot():
+    rng = np.random.default_rng(0)
+    uniform = make(rng.integers(0, 10**6, 5000).tolist())
+    hot = make(
+        np.where(rng.random(5000) < 0.9,
+                 rng.integers(0, 10**4, 5000),
+                 rng.integers(0, 10**6, 5000)).tolist()
+    )
+    assert analyze_trace(hot).locality_top10 > analyze_trace(uniform).locality_top10
+
+
+def test_mean_request_and_span():
+    t = make([10, 1000], sizes=[512, 1536])
+    a = analyze_trace(t)
+    assert a.mean_request_bytes == pytest.approx(1024.0)
+    assert a.lba_span == 990
+
+
+def test_summary_is_printable():
+    text = analyze_trace(make([0, 50, 100])).summary()
+    assert "reads=" in text and "random=" in text

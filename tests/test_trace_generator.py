@@ -1,0 +1,82 @@
+"""Synthetic trace generators and the Section III signatures."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analyzer import analyze_trace, figure1_series
+from repro.trace.generator import (
+    WebSearchTraceConfig,
+    generate_websearch_trace,
+    trace_from_engine,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WebSearchTraceConfig(num_requests=0)
+    with pytest.raises(ValueError):
+        WebSearchTraceConfig(read_fraction=1.5)
+    with pytest.raises(ValueError):
+        WebSearchTraceConfig(hot_fraction=-0.1)
+    with pytest.raises(ValueError):
+        WebSearchTraceConfig(hot_spots=0)
+
+
+def test_websearch_trace_basic_shape():
+    cfg = WebSearchTraceConfig(num_requests=5000, seed=1)
+    t = generate_websearch_trace(cfg)
+    assert len(t) == 5000
+    assert t.lbas.max() < cfg.lba_span
+    assert (np.diff(t.timestamps_s) >= 0).all()
+
+
+def test_websearch_trace_is_read_dominant():
+    """The paper: UMass web-search trace is > 99% reads."""
+    t = generate_websearch_trace(WebSearchTraceConfig(num_requests=20_000, seed=2))
+    a = analyze_trace(t)
+    assert a.read_fraction > 0.99
+
+
+def test_websearch_trace_shows_locality():
+    t = generate_websearch_trace(WebSearchTraceConfig(num_requests=20_000, seed=3))
+    a = analyze_trace(t)
+    assert a.locality_top10 > 0.4  # hot 10% of regions take >40% of accesses
+
+
+def test_websearch_trace_is_random():
+    t = generate_websearch_trace(WebSearchTraceConfig(num_requests=5_000, seed=4))
+    a = analyze_trace(t)
+    assert a.random_fraction > 0.9
+
+
+def test_websearch_trace_deterministic():
+    cfg = WebSearchTraceConfig(num_requests=1000, seed=9)
+    assert np.array_equal(
+        generate_websearch_trace(cfg).lbas, generate_websearch_trace(cfg).lbas
+    )
+
+
+def test_engine_trace_is_pure_reads(small_index, small_log):
+    t = trace_from_engine(small_index, small_log, max_queries=100)
+    assert t.is_read.all()
+    assert len(t) > 0
+
+
+def test_engine_trace_lbas_within_layout(small_index, small_log):
+    t = trace_from_engine(small_index, small_log, max_queries=100)
+    assert t.lbas.max() <= small_index.layout.total_sectors
+
+
+def test_engine_trace_shows_skipped_reads(paper_index, paper_log):
+    """Big lists are read in multiple chunks -> forward skips appear."""
+    t = trace_from_engine(paper_index, paper_log, max_queries=200)
+    a = analyze_trace(t)
+    assert a.skipped_read_fraction > 0.02
+    assert a.random_fraction > 0.5
+
+
+def test_figure1_series_matches_reads(small_index, small_log):
+    t = trace_from_engine(small_index, small_log, max_queries=50)
+    xs, ys = figure1_series(t)
+    assert len(xs) == len(t.reads_only())
+    assert (ys >= 0).all()

@@ -1,0 +1,60 @@
+"""MSR Cambridge trace format."""
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import WebSearchTraceConfig, generate_websearch_trace
+from repro.trace.msr import parse_msr, write_msr
+
+
+@pytest.fixture
+def sample():
+    return generate_websearch_trace(WebSearchTraceConfig(num_requests=150, seed=9))
+
+
+def test_roundtrip(tmp_path, sample):
+    path = tmp_path / "t.csv"
+    write_msr(sample, path, hostname="websrv", disk=2)
+    parsed = parse_msr(path)
+    assert len(parsed) == len(sample)
+    assert np.array_equal(parsed.lbas, sample.lbas)
+    assert np.array_equal(parsed.nbytes, sample.nbytes)
+    assert np.array_equal(parsed.is_read, sample.is_read)
+    # Timestamps are rebased to the first request.
+    assert parsed.timestamps_s[0] == 0.0
+
+
+def test_parse_lines_directly():
+    lines = [
+        "128166372003061629,web0,0,Read,8192,4096,151",
+        "128166372013061629,web0,1,Write,0,512,99",
+    ]
+    t = parse_msr(lines)
+    assert len(t) == 2
+    assert t[0].lba == 16
+    assert t[0].is_read and not t[1].is_read
+    assert t[1].timestamp_s == pytest.approx(1.0)
+
+
+def test_filters():
+    lines = [
+        "0,hostA,0,Read,0,512,0",
+        "0,hostB,0,Read,512,512,0",
+        "0,hostA,1,Read,1024,512,0",
+    ]
+    assert len(parse_msr(lines, hostname_filter="hostA")) == 2
+    assert len(parse_msr(lines, disk_filter=1)) == 1
+
+
+def test_malformed():
+    with pytest.raises(ValueError, match="line 1"):
+        parse_msr(["too,few,fields"])
+    with pytest.raises(ValueError, match="bad type"):
+        parse_msr(["0,h,0,Erase,0,512,0"])
+    with pytest.raises(ValueError, match="offset/size"):
+        parse_msr(["0,h,0,Read,0,0,0"])
+
+
+def test_comments_and_blanks_skipped():
+    t = parse_msr(["# header", "", "0,h,0,Read,512,512,0"])
+    assert len(t) == 1

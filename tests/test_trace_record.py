@@ -1,0 +1,82 @@
+"""Columnar trace representation."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import Trace, TraceRecord
+
+
+def make_trace(n=10):
+    return Trace(
+        lbas=np.arange(n) * 100,
+        nbytes=np.full(n, 4096),
+        is_read=np.array([i % 3 != 0 for i in range(n)]),
+        timestamps_s=np.arange(n) * 0.001,
+        name="t",
+    )
+
+
+def test_len_and_indexing():
+    t = make_trace(5)
+    assert len(t) == 5
+    rec = t[2]
+    assert isinstance(rec, TraceRecord)
+    assert rec.lba == 200
+    assert rec.nbytes == 4096
+    assert rec.op in ("R", "W")
+
+
+def test_iteration_matches_indexing():
+    t = make_trace(6)
+    assert [r.lba for r in t] == [t[i].lba for i in range(6)]
+
+
+def test_column_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Trace(np.arange(3), np.full(2, 512), np.ones(3, bool))
+    with pytest.raises(ValueError):
+        Trace(np.arange(3), np.full(3, 512), np.ones(3, bool),
+              timestamps_s=np.zeros(2))
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ValueError):
+        Trace(np.array([-1]), np.array([512]), np.array([True]))
+    with pytest.raises(ValueError):
+        Trace(np.array([0]), np.array([0]), np.array([True]))
+
+
+def test_reads_only_filters():
+    t = make_trace(9)
+    reads = t.reads_only()
+    assert len(reads) == int(t.is_read.sum())
+    assert reads.is_read.all()
+
+
+def test_slice():
+    t = make_trace(10)
+    s = t.slice(2, 5)
+    assert len(s) == 3
+    assert s[0].lba == t[2].lba
+
+
+def test_from_records_roundtrip():
+    records = [TraceRecord(lba=i, nbytes=512, is_read=True) for i in range(4)]
+    t = Trace.from_records(records)
+    assert len(t) == 4
+    assert t[3].lba == 3
+
+
+def test_from_records_empty():
+    t = Trace.from_records([])
+    assert len(t) == 0
+
+
+def test_concat():
+    t = make_trace(3).concat(make_trace(4))
+    assert len(t) == 7
+
+
+def test_default_timestamps_zero():
+    t = Trace(np.array([1]), np.array([512]), np.array([True]))
+    assert t[0].timestamp_s == 0.0
