@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import CacheConfig, Policy
+from repro.core.config import CacheConfig
+from repro.core.events import EventCounter
 from repro.core.manager import CacheManager, QueryOutcome, build_hierarchy_for
 from repro.engine.corpus import CorpusConfig, CorpusStats, build_corpus_stats
 from repro.engine.index import InvertedIndex
@@ -70,11 +71,14 @@ class IndexShard:
         self.cache_config = cache_config
         hierarchy = build_hierarchy_for(cache_config, self.index)
         self.manager = CacheManager(cache_config, hierarchy, self.index)
+        # Per-shard cache observability via the event-hook seam instead of
+        # reaching into the manager's cache internals.
+        self.cache_events = EventCounter(self.manager.events)
         self._seed = seed + shard_id
 
     def warmup_static(self, log: QueryLog, analyze_queries: int | None = None):
-        """Provision the CBSLRU static partition from the log."""
-        if self.cache_config.policy is Policy.CBSLRU and self.cache_config.uses_ssd:
+        """Provision the static partition when the policy supports one."""
+        if self.manager.policy.supports_static and self.cache_config.uses_ssd:
             return self.manager.warmup_static(log, analyze_queries=analyze_queries)
         return None
 
@@ -89,8 +93,15 @@ class IndexShard:
     def ssd_erase_count(self) -> int:
         return self.manager.ssd.erase_count if self.manager.ssd else 0
 
+    @property
+    def ssd_flush_count(self) -> int:
+        """SSD cache-file writes observed via the event hooks."""
+        return (self.cache_events.get("flush", "result")
+                + self.cache_events.get("flush", "list"))
+
     def describe(self) -> str:
+        policy = self.cache_config.policy
         return (
             f"shard {self.shard_id}: {self.index.num_docs:,} docs, "
-            f"{self.cache_config.policy.value} cache"
+            f"{getattr(policy, 'value', str(policy))} cache"
         )

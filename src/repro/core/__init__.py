@@ -6,19 +6,45 @@
   2's efficiency value EV, the TEV threshold).
 * :mod:`repro.core.placement` — data placement (write buffer, result
   block (RB) assembly, block-aligned log layout on SSD).
-* :mod:`repro.core.replacement` — data replacement (LRU baseline, CBLRU's
-  working/replace-first regions with IREN and size-matched victims,
-  CBSLRU's static partition).
+* :mod:`repro.core.policies` — pluggable admission/replacement policies
+  (LRU baseline, CBLRU's working/replace-first regions with IREN and
+  size-matched victims, CBSLRU's static partition) plus the registry
+  for third-party policies.
+* :mod:`repro.core.result_cache` / :mod:`repro.core.list_cache` — the
+  layered L1<->L2 flows for results and inverted lists.
+* :mod:`repro.core.events` — the cache life-cycle hook bus (on_admit,
+  on_evict, on_flush, on_l2_victim) for stats and observability.
 * :mod:`repro.core.manager` — the cache manager of Fig. 2 (selection /
   query / replacement management) orchestrating memory, SSD and HDD.
 """
 
 from repro.core.config import CacheConfig, Policy, Scheme
 from repro.core.entries import CachedList, CachedResult, EntryState, ResultBlock
+from repro.core.events import (
+    AdmitEvent,
+    CacheEvents,
+    EventCounter,
+    EvictEvent,
+    FlushEvent,
+    L2VictimEvent,
+)
 from repro.core.lru import LruList
 from repro.core.selection import SelectionPolicy, efficiency_value, ssd_cache_blocks
-from repro.core.stats import CacheStats, Situation
+from repro.core.stats import CacheStats, Situation, StatsRecorder
 from repro.core.placement import WriteBuffer
+from repro.core.policies import (
+    AdmissionPolicy,
+    BaseReplacementPolicy,
+    CblruPolicy,
+    CbslruPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+from repro.core.result_cache import ResultCache
+from repro.core.list_cache import ListCache
 from repro.core.ssd_region import BlockRegion, ByteRegion
 from repro.core.intersections import (
     IntersectionCache,
@@ -50,4 +76,22 @@ __all__ = [
     "IntersectionCache",
     "IntersectionEntry",
     "ThreeLevelCacheManager",
+    "AdmitEvent",
+    "EvictEvent",
+    "FlushEvent",
+    "L2VictimEvent",
+    "CacheEvents",
+    "EventCounter",
+    "StatsRecorder",
+    "AdmissionPolicy",
+    "ReplacementPolicy",
+    "BaseReplacementPolicy",
+    "LruPolicy",
+    "CblruPolicy",
+    "CbslruPolicy",
+    "register_policy",
+    "create_policy",
+    "available_policies",
+    "ResultCache",
+    "ListCache",
 ]

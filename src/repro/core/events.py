@@ -1,0 +1,172 @@
+"""Cache life-cycle event hooks — the observability seam of the core.
+
+The layered caches (:mod:`repro.core.result_cache`,
+:mod:`repro.core.list_cache`) and the replacement policies announce what
+they do through a :class:`CacheEvents` bus instead of having consumers
+reach into their internals.  Four hooks cover the life cycle:
+
+* ``on_admit`` — an entry entered a tier (L1, L2, or the static
+  partition), or an SSD copy was re-validated in place (``reason ==
+  "revalidate"``, the Section VI.C write-avoidance path);
+* ``on_evict`` — an entry left a tier (capacity pressure, TTL expiry,
+  TEV discard, invalidation);
+* ``on_flush`` — a physical SSD cache-file write (an assembled result
+  block, a cost-based list placement, or a baseline byte-granular write);
+* ``on_l2_victim`` — a replacement victim was selected on the SSD side,
+  tagged with the Fig. 11/13 search stage that produced it.
+
+:class:`repro.core.stats.StatsRecorder` subscribes the query-replay
+counters; :class:`EventCounter` is a ready-made subscriber for cluster
+shards and ad-hoc observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "AdmitEvent",
+    "EvictEvent",
+    "FlushEvent",
+    "L2VictimEvent",
+    "CacheEvents",
+    "EventCounter",
+]
+
+
+@dataclass(frozen=True)
+class AdmitEvent:
+    """An entry entered a cache tier (or was re-validated on SSD)."""
+
+    #: "result" or "list"
+    kind: str
+    #: query key tuple (results) or term id (lists)
+    key: Any
+    #: "l1", "l2", or "static"
+    level: str
+    nbytes: int = 0
+    #: "revalidate" marks a Section VI.C avoided rewrite; None otherwise
+    reason: str | None = None
+
+
+@dataclass(frozen=True)
+class EvictEvent:
+    """An entry left a cache tier."""
+
+    kind: str
+    key: Any
+    #: tier the entry left ("l1" or "l2")
+    level: str
+    nbytes: int = 0
+    #: "capacity", "tev", "expired", "invalidate", ...
+    reason: str | None = None
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """One physical write into the SSD cache file."""
+
+    kind: str
+    lba: int
+    nbytes: int
+    #: result entries in an RB, blocks in a list placement, 1 otherwise
+    entries: int = 1
+
+
+@dataclass(frozen=True)
+class L2VictimEvent:
+    """A replacement victim was chosen on the SSD side."""
+
+    kind: str
+    #: rb_id for result blocks, term_id for lists
+    key: Any
+    #: "rb-iren", "replaceable", "size-match", "assemble", "fallback", "lru"
+    stage: str
+
+
+class CacheEvents:
+    """Synchronous fan-out of the four cache hooks.
+
+    Subscribers must not mutate cache state; they observe.  Exceptions
+    propagate — a broken observer should fail loudly in tests rather than
+    silently skew what it measures.
+    """
+
+    def __init__(self) -> None:
+        self._on_admit: list[Callable[[AdmitEvent], None]] = []
+        self._on_evict: list[Callable[[EvictEvent], None]] = []
+        self._on_flush: list[Callable[[FlushEvent], None]] = []
+        self._on_l2_victim: list[Callable[[L2VictimEvent], None]] = []
+
+    def subscribe(
+        self,
+        *,
+        on_admit: Callable[[AdmitEvent], None] | None = None,
+        on_evict: Callable[[EvictEvent], None] | None = None,
+        on_flush: Callable[[FlushEvent], None] | None = None,
+        on_l2_victim: Callable[[L2VictimEvent], None] | None = None,
+    ) -> Callable[[], None]:
+        """Attach any subset of hooks; returns an unsubscribe callable."""
+        attached: list[tuple[list, Callable]] = []
+        for hooks, cb in (
+            (self._on_admit, on_admit),
+            (self._on_evict, on_evict),
+            (self._on_flush, on_flush),
+            (self._on_l2_victim, on_l2_victim),
+        ):
+            if cb is not None:
+                hooks.append(cb)
+                attached.append((hooks, cb))
+
+        def unsubscribe() -> None:
+            for hooks, cb in attached:
+                if cb in hooks:
+                    hooks.remove(cb)
+
+        return unsubscribe
+
+    # -- emission (called by the cache layers) ---------------------------
+
+    def admit(self, event: AdmitEvent) -> None:
+        for cb in tuple(self._on_admit):
+            cb(event)
+
+    def evict(self, event: EvictEvent) -> None:
+        for cb in tuple(self._on_evict):
+            cb(event)
+
+    def flush(self, event: FlushEvent) -> None:
+        for cb in tuple(self._on_flush):
+            cb(event)
+
+    def l2_victim(self, event: L2VictimEvent) -> None:
+        for cb in tuple(self._on_l2_victim):
+            cb(event)
+
+
+class EventCounter:
+    """Counts events by ``(hook, kind)`` — e.g. ``("flush", "result")``.
+
+    A drop-in observer for cluster shards and benchmarks that want cache
+    activity without touching cache internals.
+    """
+
+    def __init__(self, events: CacheEvents) -> None:
+        self.counts: dict[tuple[str, str], int] = {}
+        self._unsubscribe = events.subscribe(
+            on_admit=lambda e: self._bump("admit", e.kind),
+            on_evict=lambda e: self._bump("evict", e.kind),
+            on_flush=lambda e: self._bump("flush", e.kind),
+            on_l2_victim=lambda e: self._bump("l2_victim", e.kind),
+        )
+
+    def _bump(self, hook: str, kind: str) -> None:
+        key = (hook, kind)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def get(self, hook: str, kind: str) -> int:
+        return self.counts.get((hook, kind), 0)
+
+    def close(self) -> None:
+        self._unsubscribe()

@@ -1,16 +1,17 @@
-"""The cache manager (Fig. 2): query, selection and replacement management.
+"""The cache manager (Fig. 2): a facade over the layered caches.
 
-This is the paper's system.  One :class:`CacheManager` owns:
+The paper's system is wired together here, but the behaviour lives in
+composable layers:
 
-* the **L1 caches** in memory — a fixed-length result cache and a
-  variable-length inverted-list cache;
-* the **L2 caches** on SSD — a result region of 128 KB result blocks and
-  an inverted-list region of whole flash blocks (cost-based policies), or
-  byte-granular extents (the LRU baseline);
-* the **write buffer** assembling evicted result entries into RBs;
-* the policy machinery: Formula 1/2 selection with the TEV filter, the
-  working/replace-first-region LRU lists, IREN-ranked RB victims,
-  replaceable-state tracking with TRIM, and CBSLRU's static partition.
+* :class:`repro.core.result_cache.ResultCache` — the L1<->L2 result flow
+  (memory entries, the write buffer, SSD result blocks, static results);
+* :class:`repro.core.list_cache.ListCache` — the L1<->L2 inverted-list
+  flow (memory prefixes, the SSD list region, static lists, HDD tails);
+* :mod:`repro.core.policies` — pluggable admission (Formula 1/2 + TEV)
+  and replacement (LRU / CBLRU / CBSLRU, or anything registered);
+* :class:`repro.core.events.CacheEvents` — the observability seam that
+  :class:`~repro.core.stats.StatsRecorder`, cluster shards and custom
+  subscribers consume instead of reaching into cache internals.
 
 ``process_query`` runs the full Table I flow for one query and charges
 every device access to the shared virtual clock, so mean response time,
@@ -20,20 +21,20 @@ out of one replay loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.core.config import CacheConfig, Policy, Scheme
-from repro.core.entries import CachedList, CachedResult, EntryState, ResultBlock
-from repro.core.lru import LruList
-from repro.core.placement import WriteBuffer
-from repro.core.selection import SelectionPolicy, efficiency_value, ssd_cache_blocks
-from repro.core.ssd_region import BlockRegion, ByteRegion
-from repro.core.stats import CacheStats, Situation
+from repro.core.config import CacheConfig
+from repro.core.entries import CachedResult
+from repro.core.events import CacheEvents
+from repro.core.list_cache import ListCache
+from repro.core.policies import create_policy
+from repro.core.result_cache import ResultCache
+from repro.core.stats import CacheStats, Situation, StatsRecorder
 from repro.engine.index import InvertedIndex
-from repro.engine.processor import QueryPlan, QueryProcessor
+from repro.engine.processor import QueryProcessor
 from repro.engine.query import Query
 from repro.engine.querylog import QueryLog
-from repro.flash.constants import SECTOR_BYTES, FlashConfig
+from repro.flash.constants import FlashConfig
 from repro.storage.hierarchy import HierarchyConfig, StorageHierarchy
 
 __all__ = ["QueryOutcome", "CacheManager", "build_hierarchy_for"]
@@ -69,17 +70,7 @@ def build_hierarchy_for(
     base = FlashConfig(**overrides) if overrides else FlashConfig()
     cache_blocks = max(1, cache_config.ssd_cache_bytes // base.block_bytes)
     num_blocks = int(cache_blocks / (1.0 - op)) + 4
-    ssd_cfg = FlashConfig(
-        page_bytes=base.page_bytes,
-        pages_per_block=base.pages_per_block,
-        num_blocks=num_blocks,
-        overprovision=op,
-        read_us=base.read_us,
-        write_us=base.write_us,
-        erase_us=base.erase_us,
-        channels=base.channels,
-        gc_free_block_threshold=base.gc_free_block_threshold,
-    )
+    ssd_cfg = replace(base, num_blocks=num_blocks, overprovision=op)
     mem = memory_bytes or max(
         64 * 1024 * 1024,
         2 * (cache_config.mem_result_bytes + cache_config.mem_list_bytes),
@@ -88,16 +79,7 @@ def build_hierarchy_for(
     if index_on == "ssd":
         index_bytes = index.index_bytes if index is not None else 2**30
         idx_blocks = int((index_bytes // base.block_bytes + 1) / (1.0 - op)) + 4
-        index_ssd_cfg = FlashConfig(
-            page_bytes=base.page_bytes,
-            pages_per_block=base.pages_per_block,
-            num_blocks=idx_blocks,
-            overprovision=op,
-            read_us=base.read_us,
-            write_us=base.write_us,
-            erase_us=base.erase_us,
-            channels=base.channels,
-        )
+        index_ssd_cfg = replace(base, num_blocks=idx_blocks, overprovision=op)
     return StorageHierarchy(
         HierarchyConfig(
             memory_bytes=mem,
@@ -111,7 +93,12 @@ def build_hierarchy_for(
 
 
 class CacheManager:
-    """Two-level cache over a storage hierarchy and an inverted index."""
+    """Two-level cache over a storage hierarchy and an inverted index.
+
+    A thin facade: query management (the Table I flow) plus the wiring of
+    the result/list cache layers, the replacement policy resolved from
+    ``config.policy`` via :mod:`repro.core.policies`, and the event bus.
+    """
 
     def __init__(
         self,
@@ -131,6 +118,8 @@ class CacheManager:
         self.ssd = hierarchy.ssd
         self.store = hierarchy.index_store
         self.stats = CacheStats()
+        self.events = CacheEvents()
+        self._stats_recorder = StatsRecorder(self.stats, self.events)
 
         if config.uses_ssd and self.ssd is None:
             raise ValueError("cache config needs an SSD tier but the hierarchy has none")
@@ -140,58 +129,29 @@ class CacheManager:
                 f"device offers {self.ssd.capacity_bytes} B"
             )
 
-        cost_based = config.policy in (Policy.CBLRU, Policy.CBSLRU)
-        self.selection = SelectionPolicy(
-            block_bytes=config.block_bytes, tev=config.tev, cost_based=cost_based
+        self.policy = create_policy(config.policy)
+        self.selection = self.policy.build_admission(config)
+        self.result_cache = ResultCache(
+            config=config,
+            policy=self.policy,
+            clock=self.clock,
+            mem=self.mem,
+            ssd=self.ssd,
+            stats=self.stats,
+            events=self.events,
         )
-
-        # ---- L1 (memory) ----
-        self.l1_results: LruList[tuple[int, ...], CachedResult] = LruList(config.replace_window)
-        self.l1_lists: LruList[int, CachedList] = LruList(config.replace_window)
-        self._l1_result_bytes = 0
-        self._l1_list_bytes = 0
-
-        # ---- L2 (SSD) ----
-        self._rb_slot_sectors = -(-config.result_entry_bytes // SECTOR_BYTES)
-        if config.uses_ssd:
-            if cost_based:
-                self.result_region = BlockRegion(
-                    base_lba=0,
-                    num_blocks=config.ssd_result_blocks,
-                    block_bytes=config.block_bytes,
-                )
-                list_base = config.ssd_result_blocks * (config.block_bytes // SECTOR_BYTES)
-                self.list_region = BlockRegion(
-                    base_lba=list_base,
-                    num_blocks=config.ssd_list_blocks,
-                    block_bytes=config.block_bytes,
-                )
-                self.byte_result_region = None
-                self.byte_list_region = None
-            else:
-                self.result_region = None
-                self.list_region = None
-                self.byte_result_region = ByteRegion(0, config.ssd_result_bytes)
-                list_base = (config.ssd_result_bytes // SECTOR_BYTES)
-                self.byte_list_region = ByteRegion(list_base, config.ssd_list_bytes)
-        else:
-            self.result_region = self.list_region = None
-            self.byte_result_region = self.byte_list_region = None
-
-        # Fig. 7a result mapping + Fig. 7b RB mapping.
-        self.l2_result_map: dict[tuple[int, ...], CachedResult] = {}
-        self.rb_map: dict[int, ResultBlock] = {}
-        self.rb_lru: LruList[int, ResultBlock] = LruList(config.replace_window)
-        # LRU baseline keeps per-entry recency instead of per-RB.
-        self.l2_result_lru: LruList[tuple[int, ...], CachedResult] = LruList(config.replace_window)
-        # Fig. 7c inverted-list mapping.
-        self.l2_lists: LruList[int, CachedList] = LruList(config.replace_window)
-        # CBSLRU static partitions (filled by warmup_static).
-        self.static_results: dict[tuple[int, ...], CachedResult] = {}
-        self.static_lists: dict[int, CachedList] = {}
-
-        self.write_buffer = WriteBuffer(config.entries_per_rb)
-        self._next_rb_id = 0
+        self.list_cache = ListCache(
+            config=config,
+            policy=self.policy,
+            selection=self.selection,
+            index=index,
+            clock=self.clock,
+            mem=self.mem,
+            ssd=self.ssd,
+            store=self.store,
+            stats=self.stats,
+            events=self.events,
+        )
 
     # ------------------------------------------------------------------
     # Query management (QM)
@@ -218,84 +178,8 @@ class CacheManager:
             result_hit_level=hit_level,
         )
 
-    def _expired(self, entry) -> bool:
-        return entry.expired(self.clock.now_us, self.config.ttl_us)
-
     def _lookup_result(self, key: tuple[int, ...]) -> int:
-        """Serve the query from the result caches if possible.
-
-        Returns 1 for an L1 hit, 2 for an L2 hit, 0 for a miss.  In the
-        dynamic scenario (ttl_us > 0), stale copies are discarded on the
-        way down and the query recomputes from fresh index data.
-        """
-        cfg = self.config
-        entry = self.l1_results.get(key)
-        if entry is not None:
-            if self._expired(entry):
-                self.l1_results.pop(key)
-                self._l1_result_bytes -= entry.nbytes
-                self._drop_l2_result(key, trim=True)
-                self.stats.expired_results += 1
-            else:
-                self.l1_results.touch(key)
-                entry.touch()
-                self.mem.read(0, entry.nbytes)
-                self.stats.result_l1_hits += 1
-                return 1
-
-        # Entries staged in the write buffer still live in DRAM.
-        staged = self.write_buffer.take(key)
-        if staged is not None:
-            if self._expired(staged):
-                self.stats.expired_results += 1
-            else:
-                staged.touch()
-                self.mem.read(0, staged.nbytes)
-                self._admit_result_l1(staged, from_lower=True)
-                self.stats.result_l1_hits += 1
-                return 1
-
-        if not cfg.uses_ssd:
-            return 0
-
-        static = self.static_results.get(key)
-        if static is not None and not self._expired(static):
-            self.ssd.read(static.lba, static.nbytes)
-            static.touch()
-            copy = CachedResult(query_key=key, nbytes=static.nbytes,
-                                freq=static.freq, created_us=static.created_us)
-            self._admit_result_l1(copy, from_lower=True)
-            self.stats.result_l2_hits += 1
-            return 2
-
-        entry = self.l2_result_map.get(key)
-        if entry is not None and self._expired(entry):
-            self._drop_l2_result(key, trim=True)
-            self.stats.expired_results += 1
-            entry = None
-        if entry is not None:
-            self.ssd.read(entry.lba, entry.nbytes)
-            entry.touch()
-            copy = CachedResult(query_key=key, nbytes=entry.nbytes,
-                                freq=entry.freq, created_us=entry.created_us)
-            if self.config.scheme is Scheme.EXCLUSIVE:
-                self._drop_l2_result(key, trim=True)
-            else:
-                # Hybrid/inclusive: the SSD copy turns REPLACEABLE but keeps
-                # its mapping so a later eviction can skip the rewrite.
-                entry.state = EntryState.REPLACEABLE
-                if entry.rb_id is not None:
-                    rb = self.rb_map[entry.rb_id]
-                    if entry.slot is not None and rb.is_valid(entry.slot):
-                        rb.clear_valid(entry.slot)
-                    if entry.rb_id in self.rb_lru:
-                        self.rb_lru.touch(entry.rb_id)
-                elif key in self.l2_result_lru:
-                    self.l2_result_lru.touch(key)
-            self._admit_result_l1(copy, from_lower=True)
-            self.stats.result_l2_hits += 1
-            return 2
-        return 0
+        return self.result_cache.lookup(key)
 
     def _compute_query(self, query: Query) -> Situation:
         """Result miss: fetch lists, score, cache the new result entry."""
@@ -311,7 +195,7 @@ class CacheManager:
             used_hdd |= src_hdd
 
         self.clock.advance(self.processor.cpu_time_us(plan))
-        result = self.processor.execute(plan, materialize=self.materialize_results)
+        self.processor.execute(plan, materialize=self.materialize_results)
         entry = CachedResult(
             query_key=query.key,
             nbytes=self.config.result_entry_bytes,
@@ -324,511 +208,20 @@ class CacheManager:
             used_mem = True
         return Situation.for_lists(used_mem, used_ssd, used_hdd)
 
-    def _maybe_refresh_static_result(self, key: tuple[int, ...],
-                                     fresh: CachedResult) -> None:
-        """Rewrite a stale pinned result with the just-computed data."""
-        static = self.static_results.get(key)
-        if static is None or not self._expired(static):
-            return
-        self.ssd.write(static.lba, static.nbytes)
-        static.created_us = fresh.created_us
-        self.stats.static_refreshes += 1
+    # Delegates kept for subclasses (e.g. ThreeLevelCacheManager) and
+    # behaviour parity with the pre-decomposition manager.
 
     def _fetch_list(
         self, term_id: int, needed: int, total_bytes: int, pu: float
     ) -> tuple[bool, bool, bool]:
-        """Bring the traversed prefix of one list in; returns source flags."""
-        covered = 0
-        src_mem = src_ssd = src_hdd = False
-
-        l1 = self.l1_lists.get(term_id)
-        if l1 is not None and self._expired(l1):
-            self.l1_lists.pop(term_id)
-            self._l1_list_bytes -= l1.cached_bytes
-            self._drop_l2_list(term_id, trim=self.config.policy is not Policy.LRU)
-            self.stats.expired_lists += 1
-            l1 = None
-        if l1 is not None:
-            self.l1_lists.touch(term_id)
-            l1.touch()
-            served = min(needed, l1.cached_bytes)
-            if served > 0:
-                self.mem.read(0, served)
-                src_mem = True
-                covered = served
-            if covered >= needed:
-                self.stats.list_l1_hits += 1
-                self._admit_list_l1(term_id, needed, total_bytes, pu, new_access=False)
-                return src_mem, src_ssd, src_hdd
-
-        stale_static: CachedList | None = None
-        if self.config.uses_ssd:
-            l2 = self.static_lists.get(term_id)
-            is_static = l2 is not None
-            if is_static and self._expired(l2):
-                # Pinned data is refreshed in place after the HDD re-read.
-                stale_static = l2
-                self.stats.expired_lists += 1
-                l2 = None
-                is_static = False
-            if l2 is None and not stale_static:
-                l2 = self.l2_lists.get(term_id)
-                if l2 is not None and self._expired(l2):
-                    self._drop_l2_list(
-                        term_id, trim=self.config.policy is not Policy.LRU
-                    )
-                    self.stats.expired_lists += 1
-                    l2 = None
-            if l2 is not None and l2.cached_bytes > covered:
-                take = min(needed, l2.cached_bytes) - covered
-                self._read_l2_list_bytes(l2, covered, take)
-                src_ssd = True
-                covered += take
-                l2.touch()
-                if not is_static:
-                    self.l2_lists.touch(term_id)
-                    if self.config.scheme is Scheme.EXCLUSIVE:
-                        self._drop_l2_list(term_id, trim=True)
-                    elif self.config.policy is not Policy.LRU:
-                        # The baseline has no replaceable-state tracking:
-                        # a read-back entry stays NORMAL and gets fully
-                        # rewritten on its next eviction (Section VI.C).
-                        l2.state = EntryState.REPLACEABLE
-
-        if covered < needed:
-            src_hdd = True
-            self._read_store_tail(term_id, needed, covered)
-            if covered > 0:
-                self.stats.list_partial_hits += 1
-            else:
-                self.stats.list_misses += 1
-        elif src_ssd:
-            self.stats.list_l2_hits += 1
-
-        if stale_static is not None and src_hdd:
-            # Rewrite the pinned blocks with the fresh data just read.
-            for b in stale_static.blocks:
-                self.ssd.write(self.list_region.lba_of(b), self.config.block_bytes)
-            stale_static.created_us = self.clock.now_us
-            self.stats.static_refreshes += 1
-
-        self._admit_list_l1(term_id, needed, total_bytes, pu, new_access=l1 is None)
-        return src_mem, src_ssd, src_hdd
-
-    def _read_l2_list_bytes(self, entry: CachedList, offset: int, nbytes: int) -> None:
-        """Read ``nbytes`` of a cached list starting at ``offset`` from SSD."""
-        sb = self.config.block_bytes
-        remaining = nbytes
-        pos = offset
-        while remaining > 0:
-            if entry.blocks:
-                blk = entry.blocks[min(pos // sb, len(entry.blocks) - 1)]
-                lba = self.list_region.lba_of(blk) + (pos % sb) // SECTOR_BYTES
-            else:
-                assert entry.lba_byte is not None, "SSD list entry without placement"
-                lba = entry.lba_byte + pos // SECTOR_BYTES
-            chunk = min(remaining, sb - (pos % sb))
-            self.ssd.read(lba, chunk)
-            pos += chunk
-            remaining -= chunk
-
-    def _read_store_tail(self, term_id: int, needed: int, covered: int) -> None:
-        """Read the uncached tail of a list from the index store (HDD)."""
-        for lba, nbytes in self.index.layout.chunk_reads(term_id, needed):
-            # Skip chunks entirely satisfied by the cached prefix.
-            chunk_start = (lba - self.index.layout.extent(term_id).lba) * SECTOR_BYTES
-            if chunk_start + nbytes <= covered:
-                continue
-            self.store.read(lba, nbytes)
-
-    # ------------------------------------------------------------------
-    # L1 admission and eviction (replacement management, memory side)
-    # ------------------------------------------------------------------
+        return self.list_cache.fetch(term_id, needed, total_bytes, pu)
 
     def _admit_result_l1(self, entry: CachedResult, from_lower: bool) -> None:
-        """Insert a result entry into the memory result cache."""
-        cfg = self.config
-        if entry.nbytes > cfg.mem_result_bytes:
-            return  # cache too small for even one entry
-        while self._l1_result_bytes + entry.nbytes > cfg.mem_result_bytes:
-            _, victim = self.l1_results.pop_lru()
-            self._l1_result_bytes -= victim.nbytes
-            self._on_result_evicted(victim)
-        self.l1_results.insert(entry.query_key, entry)
-        self._l1_result_bytes += entry.nbytes
-        if cfg.scheme is Scheme.INCLUSIVE and cfg.uses_ssd and not from_lower:
-            # Write-through: an inclusive L2 always holds what L1 holds.
-            self._push_result_to_l2(entry)
+        self.result_cache.admit_l1(entry, from_lower)
 
-    def _on_result_evicted(self, victim: CachedResult) -> None:
-        cfg = self.config
-        if not cfg.uses_ssd or victim.query_key in self.static_results:
-            return
-        if cfg.scheme is Scheme.INCLUSIVE:
-            return  # already written through
-        if cfg.policy is Policy.LRU:
-            self._lru_result_to_ssd(victim)
-            return
-        already = self._l2_result_copy_usable(victim.query_key)
-        if already:
-            # Re-validate the REPLACEABLE SSD copy instead of rewriting.
-            entry = self.l2_result_map[victim.query_key]
-            entry.state = EntryState.NORMAL
-            entry.freq = max(entry.freq, victim.freq)
-            if entry.rb_id is not None:
-                rb = self.rb_map[entry.rb_id]
-                rb.set_valid(entry.slot, victim.query_key)
-            self.stats.ssd_writes_avoided += 1
-            self.write_buffer.dropped_replaceable += 1
-            return
-        batch = self.write_buffer.add(victim, already_on_ssd=False)
-        if batch is not None:
-            self._flush_result_block(batch)
-
-    def _l2_result_copy_usable(self, key: tuple[int, ...]) -> bool:
-        entry = self.l2_result_map.get(key)
-        return entry is not None and entry.state is EntryState.REPLACEABLE
-
-    def _admit_list_l1(
-        self, term_id: int, needed: int, total_bytes: int, pu: float, new_access: bool
-    ) -> None:
-        """Insert/grow a list entry in the memory list cache."""
-        cfg = self.config
-        chunk = self.index.layout.chunk_bytes
-        target = min(total_bytes, -(-needed // chunk) * chunk)
-        if target > cfg.mem_list_bytes:
-            # A single list larger than the whole cache is clamped to the
-            # largest chunk multiple that fits (or skipped entirely).
-            target = cfg.mem_list_bytes // chunk * chunk
-            if target <= 0:
-                return
-        existing = self.l1_lists.get(term_id)
-        if existing is not None:
-            growth = max(0, target - existing.cached_bytes)
-            existing.cached_bytes = max(existing.cached_bytes, target)
-            # Running means keep PU close to the term's realized behaviour.
-            existing.pu += (pu - existing.pu) * 0.2
-            existing.mean_needed_bytes += (needed - existing.mean_needed_bytes) * 0.25
-            self._l1_list_bytes += growth
-            self.l1_lists.touch(term_id)
-        else:
-            entry = CachedList(
-                term_id=term_id,
-                cached_bytes=target,
-                total_bytes=total_bytes,
-                pu=pu,
-                mean_needed_bytes=float(needed),
-                created_us=self.clock.now_us,
-            )
-            self.l1_lists.insert(term_id, entry)
-            self._l1_list_bytes += target
-            if cfg.scheme is Scheme.INCLUSIVE and cfg.uses_ssd:
-                self._push_list_to_l2(entry)
-        self._evict_l1_lists_to_fit(protect=term_id)
-
-    def _evict_l1_lists_to_fit(self, protect: int | None = None) -> None:
-        cfg = self.config
-        while self._l1_list_bytes > cfg.mem_list_bytes and len(self.l1_lists) > 1:
-            victim_key = self._pick_l1_list_victim(protect)
-            if victim_key is None:
-                break
-            victim = self.l1_lists.pop(victim_key)
-            self._l1_list_bytes -= victim.cached_bytes
-            self._on_list_evicted(victim)
-
-    def _pick_l1_list_victim(self, protect: int | None) -> int | None:
-        """LRU baseline: least recent.  CBLRU/CBSLRU: min EV in the RFR (Fig. 12)."""
-        cfg = self.config
-        if cfg.policy is Policy.LRU:
-            for key, _ in self.l1_lists.items_lru_order():
-                if key != protect:
-                    return key
-            return None
-        best_key = None
-        best_ev = float("inf")
-        for key, entry in self.l1_lists.replace_first_region():
-            if key == protect:
-                continue
-            sc = max(1, ssd_cache_blocks(entry.cached_bytes, entry.formula1_pu,
-                                         cfg.block_bytes))
-            ev = efficiency_value(entry.freq, sc)
-            if ev < best_ev:
-                best_ev = ev
-                best_key = key
-        if best_key is None:
-            for key, _ in self.l1_lists.items_lru_order():
-                if key != protect:
-                    return key
-        return best_key
-
-    def _on_list_evicted(self, victim: CachedList) -> None:
-        cfg = self.config
-        if not cfg.uses_ssd or victim.term_id in self.static_lists:
-            return
-        if cfg.scheme is Scheme.INCLUSIVE:
-            return
-        self._push_list_to_l2(victim)
-
-    # ------------------------------------------------------------------
-    # L2 result cache (SSD side)
-    # ------------------------------------------------------------------
-
-    def _push_result_to_l2(self, entry: CachedResult) -> None:
-        """Inclusive-scheme write-through of one result entry."""
-        if self.config.policy is Policy.LRU:
-            self._lru_result_to_ssd(entry)
-        else:
-            batch = self.write_buffer.add(
-                CachedResult(query_key=entry.query_key, nbytes=entry.nbytes,
-                             freq=entry.freq, created_us=entry.created_us),
-                already_on_ssd=self._l2_result_copy_usable(entry.query_key),
-            )
-            if batch is not None:
-                self._flush_result_block(batch)
-
-    def _flush_result_block(self, batch: list[CachedResult]) -> None:
-        """Assemble a full RB and write it with one sequential block write."""
-        cfg = self.config
-        rb = self._take_result_block()
-        if rb is None:
-            return  # result region has zero capacity
-        for slot, entry in enumerate(batch):
-            # Drop any stale mapping of the same key elsewhere.
-            old = self.l2_result_map.pop(entry.query_key, None)
-            if old is not None and old.rb_id is not None and old.rb_id != rb.rb_id:
-                old_rb = self.rb_map.get(old.rb_id)
-                if old_rb is not None and old.slot is not None and old_rb.is_valid(old.slot):
-                    old_rb.clear_valid(old.slot)
-            entry.rb_id = rb.rb_id
-            entry.slot = slot
-            entry.lba = rb.lba + slot * self._rb_slot_sectors
-            entry.state = EntryState.NORMAL
-            rb.set_valid(slot, entry.query_key)
-            self.l2_result_map[entry.query_key] = entry
-        self.ssd.write(rb.lba, cfg.block_bytes)
-        self.stats.ssd_result_writes += 1
-        self.rb_lru.insert(rb.rb_id, rb)
-
-    def _take_result_block(self) -> ResultBlock | None:
-        """A free RB, or the Fig. 11 victim (max IREN in the RFR)."""
-        cfg = self.config
-        region = self.result_region
-        if region is None or region.num_blocks == 0:
-            return None
-        blocks = region.alloc(1)
-        if blocks is not None:
-            rb = ResultBlock(
-                rb_id=self._next_rb_id,
-                lba=region.lba_of(blocks[0]),
-                num_slots=cfg.entries_per_rb,
-            )
-            rb._region_block = blocks[0]  # type: ignore[attr-defined]
-            self.rb_map[rb.rb_id] = rb
-            self._next_rb_id += 1
-            return rb
-        victim_id = None
-        best_iren = -1
-        for rb_id, rb in self.rb_lru.replace_first_region():
-            if rb.iren > best_iren:
-                best_iren = rb.iren
-                victim_id = rb_id
-        if victim_id is None:
-            victim_id, _ = self.rb_lru.peek_lru()
-        rb = self.rb_lru.pop(victim_id)
-        for slot in range(rb.num_slots):
-            key = rb.entries[slot]
-            if key is not None:
-                stale = self.l2_result_map.get(key)
-                if stale is not None and stale.rb_id == rb.rb_id:
-                    del self.l2_result_map[key]
-            rb.entries[slot] = None
-        rb.flags = 0
-        return rb
-
-    def _lru_result_to_ssd(self, victim: CachedResult) -> None:
-        """Baseline path: write the entry alone at whatever offset fits."""
-        region = self.byte_result_region
-        if region is None or region.size_sectors == 0:
-            return
-        old = self.l2_result_map.pop(victim.query_key, None)
-        if old is not None and old.lba is not None:
-            region.free(old.lba, old.nbytes)
-            if victim.query_key in self.l2_result_lru:
-                self.l2_result_lru.pop(victim.query_key)
-        lba = region.alloc(victim.nbytes)
-        while lba is None and len(self.l2_result_lru) > 0:
-            key, evicted = self.l2_result_lru.pop_lru()
-            self.l2_result_map.pop(key, None)
-            region.free(evicted.lba, evicted.nbytes)
-            lba = region.alloc(victim.nbytes)
-        if lba is None:
-            return
-        victim.lba = lba
-        victim.rb_id = None
-        victim.slot = None
-        victim.state = EntryState.NORMAL
-        self.ssd.write(lba, victim.nbytes)
-        self.stats.ssd_result_writes += 1
-        self.l2_result_map[victim.query_key] = victim
-        self.l2_result_lru.insert(victim.query_key, victim)
-
-    def _drop_l2_result(self, key: tuple[int, ...], trim: bool) -> None:
-        entry = self.l2_result_map.pop(key, None)
-        if entry is None:
-            return
-        if entry.rb_id is not None:
-            rb = self.rb_map.get(entry.rb_id)
-            if rb is not None and entry.slot is not None and rb.is_valid(entry.slot):
-                rb.clear_valid(entry.slot)
-                rb.entries[entry.slot] = None
-        elif entry.lba is not None and self.byte_result_region is not None:
-            self.byte_result_region.free(entry.lba, entry.nbytes)
-            if key in self.l2_result_lru:
-                self.l2_result_lru.pop(key)
-        if trim and entry.lba is not None:
-            self.ssd.trim(entry.lba, entry.nbytes)
-
-    # ------------------------------------------------------------------
-    # L2 inverted-list cache (SSD side)
-    # ------------------------------------------------------------------
-
-    def _push_list_to_l2(self, victim: CachedList) -> None:
-        cfg = self.config
-        decision = self.selection.select_list(
-            si_bytes=victim.cached_bytes, pu=victim.formula1_pu, freq=victim.freq
-        )
-        if not decision.admit:
-            self.stats.discarded_by_tev += 1
-            return
-        existing = self.l2_lists.get(victim.term_id)
-        if existing is not None:
-            covers = existing.cached_bytes >= min(
-                victim.total_bytes, decision.sc_blocks * cfg.block_bytes
-            )
-            if (existing.state is EntryState.REPLACEABLE and covers
-                    and cfg.policy is not Policy.LRU):
-                # The data is still on flash: re-validate, skip the write.
-                existing.state = EntryState.NORMAL
-                existing.freq = max(existing.freq, victim.freq)
-                self.l2_lists.touch(victim.term_id)
-                self.stats.ssd_writes_avoided += 1
-                return
-            self._drop_l2_list(victim.term_id, trim=cfg.policy is not Policy.LRU)
-
-        if cfg.policy is Policy.LRU:
-            self._lru_list_to_ssd(victim)
-        else:
-            self._cb_list_to_ssd(victim, decision.sc_blocks)
-
-    def _cb_list_to_ssd(self, victim: CachedList, sc_blocks: int) -> None:
-        """Cost-based path: whole-block placement with Fig. 13 replacement."""
-        cfg = self.config
-        region = self.list_region
-        if region is None or sc_blocks == 0 or sc_blocks > region.num_blocks:
-            return
-        if region.free_count < sc_blocks:
-            self._free_l2_list_space(sc_blocks)
-        blocks = region.alloc(sc_blocks)
-        if blocks is None:
-            return
-        cached = min(victim.total_bytes, sc_blocks * cfg.block_bytes,
-                     victim.cached_bytes)
-        entry = CachedList(
-            term_id=victim.term_id,
-            cached_bytes=cached,
-            total_bytes=victim.total_bytes,
-            pu=victim.pu,
-            freq=victim.freq,
-            blocks=blocks,
-            created_us=victim.created_us,
-        )
-        for b in blocks:
-            self.ssd.write(region.lba_of(b), cfg.block_bytes)
-        self.stats.ssd_list_writes += 1
-        self.l2_lists.insert(victim.term_id, entry)
-
-    def _free_l2_list_space(self, sc_needed: int) -> None:
-        """The staged victim search of Fig. 13.
-
-        1) REPLACEABLE entries in the replace-first region; 2) a NORMAL
-        RFR entry of exactly the needed size; 3) assembling several RFR
-        entries; 4) the whole-list fallback.
-        """
-        region = self.list_region
-        # Stage 1: replaceable entries in the RFR are free wins.
-        for key, entry in self.l2_lists.replace_first_region():
-            if region.free_count >= sc_needed:
-                return
-            if entry.state is EntryState.REPLACEABLE:
-                self._drop_l2_list(key, trim=True)
-                self.stats.evict_stage_replaceable += 1
-        if region.free_count >= sc_needed:
-            return
-        # Stage 2: a NORMAL RFR entry of exactly the missing size.
-        deficit = sc_needed - region.free_count
-        for key, entry in self.l2_lists.replace_first_region():
-            if len(entry.blocks) == deficit:
-                self._drop_l2_list(key, trim=True)
-                self.stats.evict_stage_size_match += 1
-                return
-        # Stage 3: assemble several RFR entries.
-        for key, _ in self.l2_lists.replace_first_region():
-            if region.free_count >= sc_needed:
-                return
-            self._drop_l2_list(key, trim=True)
-            self.stats.evict_stage_assemble += 1
-        # Stage 4: widen to the whole LRU list (the paper's worst case).
-        for key, _ in list(self.l2_lists.items_lru_order()):
-            if region.free_count >= sc_needed:
-                return
-            self._drop_l2_list(key, trim=True)
-            self.stats.evict_stage_fallback += 1
-
-    def _lru_list_to_ssd(self, victim: CachedList) -> None:
-        """Baseline path: byte-granular placement, plain LRU eviction."""
-        region = self.byte_list_region
-        if region is None or region.size_sectors == 0:
-            return
-        nbytes = victim.cached_bytes
-        if nbytes > region.size_sectors * SECTOR_BYTES:
-            return
-        lba = region.alloc(nbytes)
-        while lba is None and len(self.l2_lists) > 0:
-            key, evicted = self.l2_lists.pop_lru()
-            region.free(evicted.lba_byte, evicted.cached_bytes)  # type: ignore[attr-defined]
-            lba = region.alloc(nbytes)
-        if lba is None:
-            return
-        entry = CachedList(
-            term_id=victim.term_id,
-            cached_bytes=nbytes,
-            total_bytes=victim.total_bytes,
-            pu=victim.pu,
-            freq=victim.freq,
-            created_us=victim.created_us,
-        )
-        entry.lba_byte = lba
-        self.ssd.write(lba, nbytes)
-        self.stats.ssd_list_writes += 1
-        self.l2_lists.insert(victim.term_id, entry)
-
-    def _drop_l2_list(self, term_id: int, trim: bool) -> None:
-        entry = self.l2_lists.get(term_id)
-        if entry is None:
-            return
-        self.l2_lists.pop(term_id)
-        cfg = self.config
-        if entry.blocks:
-            region = self.list_region
-            if trim:
-                for b in entry.blocks:
-                    self.ssd.trim(region.lba_of(b), cfg.block_bytes)
-            region.free(entry.blocks)
-            entry.blocks = []
-        elif hasattr(entry, "lba_byte"):
-            if trim:
-                self.ssd.trim(entry.lba_byte, entry.cached_bytes)
-            self.byte_list_region.free(entry.lba_byte, entry.cached_bytes)
+    def _maybe_refresh_static_result(self, key: tuple[int, ...],
+                                     fresh: CachedResult) -> None:
+        self.result_cache.maybe_refresh_static(key, fresh)
 
     # ------------------------------------------------------------------
     # CBSLRU static partition (Section VI.C.2)
@@ -846,7 +239,7 @@ class CacheManager:
         pinned — a singleton tells the analysis nothing about the future.
         """
         cfg = self.config
-        if cfg.policy is not Policy.CBSLRU:
+        if not self.policy.supports_static:
             raise ValueError("warmup_static only applies to the CBSLRU policy")
         if not cfg.uses_ssd:
             raise ValueError("warmup_static needs an SSD tier")
@@ -859,88 +252,12 @@ class CacheManager:
             for t in query.key:
                 tfreq[t] = tfreq.get(t, 0) + 1
 
-        placed_results = 0
-        rc_budget = int(cfg.ssd_result_blocks * cfg.static_fraction)
         top_queries = sorted(
             ((k, f) for k, f in qfreq.items() if f >= 2), key=lambda kv: -kv[1]
         )
-        qi = 0
-        for _ in range(rc_budget):
-            blocks = self.result_region.alloc(1)
-            if blocks is None:
-                break
-            lba = self.result_region.lba_of(blocks[0])
-            wrote_any = False
-            for slot in range(cfg.entries_per_rb):
-                if qi >= len(top_queries):
-                    break
-                key, freq = top_queries[qi]
-                qi += 1
-                self.static_results[key] = CachedResult(
-                    query_key=key,
-                    nbytes=cfg.result_entry_bytes,
-                    freq=freq,
-                    lba=lba + slot * self._rb_slot_sectors,
-                    state=EntryState.NORMAL,
-                    static=True,
-                    created_us=self.clock.now_us,
-                )
-                placed_results += 1
-                wrote_any = True
-            if wrote_any:
-                self.ssd.write(lba, cfg.block_bytes)
-            if qi >= len(top_queries):
-                break
-
-        placed_lists = 0
-        lc_budget = int(cfg.ssd_list_blocks * cfg.static_fraction)
-        chunk = self.index.layout.chunk_bytes
-        ranked: list[tuple[float, int, int, int]] = []
-        for term_id, freq in tfreq.items():
-            if freq < 2:
-                continue
-            info = self.index.lexicon.term(term_id)
-            # Static entries hold the whole expected used prefix: the
-            # analysis already tells us what a typical query needs.
-            si = min(info.list_bytes,
-                     -(-int(info.list_bytes * info.utilization) // chunk) * chunk)
-            sc = ssd_cache_blocks(si, 1.0, cfg.block_bytes)
-            if sc == 0:
-                continue
-            ranked.append((efficiency_value(freq, sc), term_id, sc, freq))
-        ranked.sort(reverse=True)
-        used = 0
-        for ev, term_id, sc, freq in ranked:
-            if ev < cfg.tev:
-                break
-            if used + sc > lc_budget:
-                continue
-            blocks = self.list_region.alloc(sc)
-            if blocks is None:
-                break
-            info = self.index.lexicon.term(term_id)
-            self.static_lists[term_id] = CachedList(
-                term_id=term_id,
-                cached_bytes=min(info.list_bytes, sc * cfg.block_bytes),
-                total_bytes=info.list_bytes,
-                pu=info.utilization,
-                freq=freq,
-                blocks=blocks,
-                static=True,
-                created_us=self.clock.now_us,
-            )
-            for b in blocks:
-                self.ssd.write(self.list_region.lba_of(b), cfg.block_bytes)
-            used += sc
-            placed_lists += 1
-
-        return {
-            "static_results": placed_results,
-            "static_result_blocks_budget": rc_budget,
-            "static_lists": placed_lists,
-            "static_list_blocks": used,
-            "static_list_blocks_budget": lc_budget,
-        }
+        summary = self.result_cache.place_static(top_queries)
+        summary.update(self.list_cache.place_static(tfreq))
+        return summary
 
     # ------------------------------------------------------------------
     # Reporting
@@ -954,62 +271,89 @@ class CacheManager:
         * SSD list blocks are disjoint across entries and within regions;
         * every valid RB slot maps back to a result entry and vice versa.
         """
-        cfg = self.config
-        l1_result_bytes = sum(e.nbytes for _, e in self.l1_results.items_lru_order())
-        if l1_result_bytes != self._l1_result_bytes:
-            raise AssertionError("L1 result byte accounting out of sync")
-        if l1_result_bytes > cfg.mem_result_bytes:
-            raise AssertionError("L1 result cache over capacity")
-        l1_list_bytes = sum(e.cached_bytes for _, e in self.l1_lists.items_lru_order())
-        if l1_list_bytes != self._l1_list_bytes:
-            raise AssertionError("L1 list byte accounting out of sync")
-        if l1_list_bytes > cfg.mem_list_bytes and len(self.l1_lists) > 1:
-            raise AssertionError("L1 list cache over capacity")
-
-        if not cfg.uses_ssd:
-            return
-
-        # Block-region consistency (cost-based placement).
-        if self.list_region is not None:
-            held: list[int] = []
-            for _, entry in self.l2_lists.items_lru_order():
-                held.extend(entry.blocks)
-            for entry in self.static_lists.values():
-                held.extend(entry.blocks)
-            if len(held) != len(set(held)):
-                raise AssertionError("SSD list block allocated twice")
-            if len(held) + self.list_region.free_count > self.list_region.num_blocks:
-                raise AssertionError("SSD list region block count leak")
-
-        # RB bitmap <-> result-map agreement.
-        for rb_id, rb in self.rb_map.items():
-            for slot in range(rb.num_slots):
-                key = rb.entries[slot]
-                if rb.is_valid(slot):
-                    entry = self.l2_result_map.get(key)
-                    if entry is None or entry.rb_id != rb_id or entry.slot != slot:
-                        raise AssertionError(
-                            f"valid RB slot ({rb_id}, {slot}) has no matching "
-                            "result mapping"
-                        )
-        for key, entry in self.l2_result_map.items():
-            if entry.rb_id is not None and entry.state is EntryState.NORMAL:
-                rb = self.rb_map.get(entry.rb_id)
-                if rb is None or not rb.is_valid(entry.slot):
-                    raise AssertionError(
-                        f"NORMAL result mapping {key} points at an invalid RB slot"
-                    )
+        self.result_cache.check_invariants()
+        self.list_cache.check_invariants()
 
     def occupancy(self) -> dict:
         """Current cache occupancy for inspection and tests."""
+        result_occ = self.result_cache.occupancy()
+        list_occ = self.list_cache.occupancy()
         return {
-            "l1_result_bytes": self._l1_result_bytes,
-            "l1_list_bytes": self._l1_list_bytes,
-            "l1_results": len(self.l1_results),
-            "l1_lists": len(self.l1_lists),
-            "l2_results": len(self.l2_result_map),
-            "l2_lists": len(self.l2_lists),
-            "static_results": len(self.static_results),
-            "static_lists": len(self.static_lists),
-            "write_buffer": len(self.write_buffer),
+            "l1_result_bytes": result_occ["l1_result_bytes"],
+            "l1_list_bytes": list_occ["l1_list_bytes"],
+            "l1_results": result_occ["l1_results"],
+            "l1_lists": list_occ["l1_lists"],
+            "l2_results": result_occ["l2_results"],
+            "l2_lists": list_occ["l2_lists"],
+            "static_results": result_occ["static_results"],
+            "static_lists": list_occ["static_lists"],
+            "write_buffer": result_occ["write_buffer"],
         }
+
+    # ------------------------------------------------------------------
+    # Compatibility accessors into the layered caches
+    # ------------------------------------------------------------------
+
+    @property
+    def l1_results(self):
+        return self.result_cache.l1
+
+    @property
+    def l1_lists(self):
+        return self.list_cache.l1
+
+    @property
+    def _l1_result_bytes(self) -> int:
+        return self.result_cache.l1_bytes
+
+    @property
+    def _l1_list_bytes(self) -> int:
+        return self.list_cache.l1_bytes
+
+    @property
+    def l2_result_map(self):
+        return self.result_cache.l2_map
+
+    @property
+    def l2_result_lru(self):
+        return self.result_cache.l2_lru
+
+    @property
+    def l2_lists(self):
+        return self.list_cache.l2
+
+    @property
+    def rb_map(self):
+        return self.result_cache.rb_map
+
+    @property
+    def rb_lru(self):
+        return self.result_cache.rb_lru
+
+    @property
+    def static_results(self):
+        return self.result_cache.static
+
+    @property
+    def static_lists(self):
+        return self.list_cache.static
+
+    @property
+    def write_buffer(self):
+        return self.result_cache.write_buffer
+
+    @property
+    def result_region(self):
+        return self.result_cache.region
+
+    @property
+    def byte_result_region(self):
+        return self.result_cache.byte_region
+
+    @property
+    def list_region(self):
+        return self.list_cache.region
+
+    @property
+    def byte_list_region(self):
+        return self.list_cache.byte_region

@@ -1,0 +1,45 @@
+"""Pluggable cache policies (admission + replacement).
+
+The protocols (:class:`AdmissionPolicy`, :class:`ReplacementPolicy`) and
+the registry live here; the three paper policies ship as built-ins:
+
+* :class:`LruPolicy` — the conventional baseline;
+* :class:`CblruPolicy` — cost-based LRU (Formula 1/2, TEV, IREN,
+  staged list victims);
+* :class:`CbslruPolicy` — CBLRU plus the pinned static partition.
+
+Register a custom policy with :func:`register_policy` and select it by
+name via ``CacheConfig(policy="yourname")``.
+"""
+
+from repro.core.policies.base import (
+    AdmissionPolicy,
+    BaseReplacementPolicy,
+    ReplacementPolicy,
+)
+from repro.core.policies.cblru import CblruPolicy
+from repro.core.policies.cbslru import CbslruPolicy
+from repro.core.policies.lru import LruPolicy
+from repro.core.policies.registry import (
+    available_policies,
+    create_policy,
+    register_policy,
+    unregister_policy,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "ReplacementPolicy",
+    "BaseReplacementPolicy",
+    "LruPolicy",
+    "CblruPolicy",
+    "CbslruPolicy",
+    "register_policy",
+    "unregister_policy",
+    "create_policy",
+    "available_policies",
+]
+
+register_policy(LruPolicy.name, LruPolicy, overwrite=True)
+register_policy(CblruPolicy.name, CblruPolicy, overwrite=True)
+register_policy(CbslruPolicy.name, CbslruPolicy, overwrite=True)

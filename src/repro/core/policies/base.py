@@ -1,0 +1,175 @@
+"""Admission and replacement policy protocols.
+
+A cache policy splits into two pluggable pieces:
+
+* an :class:`AdmissionPolicy` decides *whether and how much* of a
+  memory-evicted entry goes to the SSD tier (the paper's selection
+  management: Formula 1 sizing, Formula 2's EV, the TEV filter);
+* a :class:`ReplacementPolicy` decides *which victims make room* — in
+  the memory tier (L1 list victims), the SSD result region (Fig. 11's
+  IREN-ranked RBs) and the SSD list region (Fig. 13's staged search).
+
+:class:`BaseReplacementPolicy` supplies the shared cost-based defaults
+so a concrete policy only overrides what differs.  Third-party policies
+subclass it (or implement the protocol structurally) and register a
+factory with :func:`repro.core.policies.register_policy`; the cache
+manager resolves ``CacheConfig.policy`` through that registry, so no
+manager code changes when a policy is added.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.events import L2VictimEvent
+from repro.core.selection import (
+    SelectionDecision,
+    SelectionPolicy,
+    efficiency_value,
+    ssd_cache_blocks,
+)
+
+if TYPE_CHECKING:
+    from repro.core.config import CacheConfig
+    from repro.core.list_cache import ListCache
+    from repro.core.lru import LruList
+
+__all__ = ["AdmissionPolicy", "ReplacementPolicy", "BaseReplacementPolicy"]
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Selection management: SSD admission of memory-evicted lists."""
+
+    def select_list(self, si_bytes: int, pu: float, freq: int) -> SelectionDecision:
+        """Decide admission, placement size (SC blocks) and EV."""
+        ...
+
+
+@runtime_checkable
+class ReplacementPolicy(Protocol):
+    """Replacement management: victim selection across both tiers."""
+
+    #: registry key and display name
+    name: str
+    #: True -> whole-block SSD placement (Formula 1); False -> the
+    #: byte-granular baseline layout
+    cost_based: bool
+    #: True -> SSD copies read back to memory turn REPLACEABLE and can be
+    #: re-validated without a rewrite (Section VI.C)
+    tracks_replaceable: bool
+    #: True -> dropped SSD entries are TRIMmed so FTL GC can skip them
+    trim_on_drop: bool
+    #: True -> the policy uses warmup_static's pinned partition (CBSLRU)
+    supports_static: bool
+
+    def build_admission(self, config: CacheConfig) -> AdmissionPolicy: ...
+
+    def pick_l1_list_victim(
+        self, lists: LruList, protect: int | None, config: CacheConfig
+    ) -> int | None: ...
+
+    def pick_rb_victim(self, rb_lru: LruList) -> int: ...
+
+    def free_list_space(self, cache: ListCache, sc_needed: int) -> None: ...
+
+
+class BaseReplacementPolicy:
+    """Shared victim-search machinery of the cost-based policies."""
+
+    name = "base"
+    cost_based = True
+    tracks_replaceable = True
+    trim_on_drop = True
+    supports_static = False
+
+    def build_admission(self, config: CacheConfig) -> AdmissionPolicy:
+        return SelectionPolicy(
+            block_bytes=config.block_bytes,
+            tev=config.tev,
+            cost_based=self.cost_based,
+        )
+
+    def pick_l1_list_victim(
+        self, lists: LruList, protect: int | None, config: CacheConfig
+    ) -> int | None:
+        """Fig. 12: the minimum-EV entry inside the replace-first region."""
+        best_key = None
+        best_ev = float("inf")
+        for key, entry in lists.replace_first_region():
+            if key == protect:
+                continue
+            sc = max(
+                1,
+                ssd_cache_blocks(
+                    entry.cached_bytes, entry.formula1_pu, config.block_bytes
+                ),
+            )
+            ev = efficiency_value(entry.freq, sc)
+            if ev < best_ev:
+                best_ev = ev
+                best_key = key
+        if best_key is None:
+            for key, _ in lists.items_lru_order():
+                if key != protect:
+                    return key
+        return best_key
+
+    def pick_rb_victim(self, rb_lru: LruList) -> int:
+        """Fig. 11: the maximum-IREN result block in the RFR."""
+        victim_id = None
+        best_iren = -1
+        for rb_id, rb in rb_lru.replace_first_region():
+            if rb.iren > best_iren:
+                best_iren = rb.iren
+                victim_id = rb_id
+        if victim_id is None:
+            victim_id, _ = rb_lru.peek_lru()
+        return victim_id
+
+    def free_list_space(self, cache: ListCache, sc_needed: int) -> None:
+        """The staged victim search of Fig. 13.
+
+        1) REPLACEABLE entries in the replace-first region; 2) a NORMAL
+        RFR entry of exactly the needed size; 3) assembling several RFR
+        entries; 4) the whole-list fallback.
+        """
+        from repro.core.entries import EntryState
+
+        region = cache.region
+        # Stage 1: replaceable entries in the RFR are free wins.
+        for key, entry in cache.l2.replace_first_region():
+            if region.free_count >= sc_needed:
+                return
+            if entry.state is EntryState.REPLACEABLE:
+                cache.drop_l2(key, trim=True)
+                cache.events.l2_victim(
+                    L2VictimEvent(kind="list", key=key, stage="replaceable")
+                )
+        if region.free_count >= sc_needed:
+            return
+        # Stage 2: a NORMAL RFR entry of exactly the missing size.
+        deficit = sc_needed - region.free_count
+        for key, entry in cache.l2.replace_first_region():
+            if len(entry.blocks) == deficit:
+                cache.drop_l2(key, trim=True)
+                cache.events.l2_victim(
+                    L2VictimEvent(kind="list", key=key, stage="size-match")
+                )
+                return
+        # Stage 3: assemble several RFR entries.
+        for key, _ in cache.l2.replace_first_region():
+            if region.free_count >= sc_needed:
+                return
+            cache.drop_l2(key, trim=True)
+            cache.events.l2_victim(
+                L2VictimEvent(kind="list", key=key, stage="assemble")
+            )
+        # Stage 4: widen to the whole LRU list (the paper's worst case).
+        for key, _ in list(cache.l2.items_lru_order()):
+            if region.free_count >= sc_needed:
+                return
+            cache.drop_l2(key, trim=True)
+            cache.events.l2_victim(
+                L2VictimEvent(kind="list", key=key, stage="fallback")
+            )

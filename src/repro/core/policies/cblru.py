@@ -1,0 +1,24 @@
+"""CBLRU — the paper's cost-based LRU (Section VI, Figs. 11-13).
+
+Whole-block placement sized by Formula 1, the TEV admission filter,
+working/replace-first LRU regions, IREN-ranked result-block victims and
+the staged list victim search.  All of that machinery lives in
+:class:`repro.core.policies.base.BaseReplacementPolicy`; CBLRU is its
+canonical instantiation.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import BaseReplacementPolicy
+
+__all__ = ["CblruPolicy"]
+
+
+class CblruPolicy(BaseReplacementPolicy):
+    """Cost-based LRU with dynamic partitions only."""
+
+    name = "cblru"
+    cost_based = True
+    tracks_replaceable = True
+    trim_on_drop = True
+    supports_static = False

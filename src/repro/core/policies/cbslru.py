@@ -1,0 +1,20 @@
+"""CBSLRU — CBLRU plus the pinned static partition (Section VI.C.2).
+
+Identical replacement behaviour to CBLRU for the dynamic partition; in
+addition ``supports_static`` unlocks :meth:`CacheManager.warmup_static`,
+which analyses a query log and pins the hottest results and highest-EV
+lists into a frozen fraction of each SSD region.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.cblru import CblruPolicy
+
+__all__ = ["CbslruPolicy"]
+
+
+class CbslruPolicy(CblruPolicy):
+    """Cost-based LRU with a static (pinned) partition."""
+
+    name = "cbslru"
+    supports_static = True

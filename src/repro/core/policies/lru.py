@@ -1,0 +1,36 @@
+"""The LRU baseline policy (the Fig. 14b/17/19 comparand).
+
+Byte-granular SSD placement, no replaceable-state tracking, no TRIM on
+drop, and strict recency-order victims: exactly the conventional
+SSD-as-disk-cache configuration the paper measures against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.policies.base import BaseReplacementPolicy
+
+if TYPE_CHECKING:
+    from repro.core.config import CacheConfig
+    from repro.core.lru import LruList
+
+__all__ = ["LruPolicy"]
+
+
+class LruPolicy(BaseReplacementPolicy):
+    """Plain LRU over both tiers with byte-granular SSD extents."""
+
+    name = "lru"
+    cost_based = False
+    tracks_replaceable = False
+    trim_on_drop = False
+    supports_static = False
+
+    def pick_l1_list_victim(
+        self, lists: LruList, protect: int | None, config: CacheConfig
+    ) -> int | None:
+        for key, _ in lists.items_lru_order():
+            if key != protect:
+                return key
+        return None

@@ -1,0 +1,79 @@
+"""Replacement-policy registry.
+
+``CacheConfig.policy`` is resolved here, so a new policy is one class
+plus one :func:`register_policy` call — no cache-manager edits:
+
+    from repro.core.policies import BaseReplacementPolicy, register_policy
+
+    class FifoPolicy(BaseReplacementPolicy):
+        name = "fifo"
+        ...
+
+    register_policy("fifo", FifoPolicy)
+    cfg = CacheConfig(policy="fifo", ...)   # resolved via the registry
+
+Built-in :class:`repro.core.config.Policy` members are str-valued enums,
+so they resolve through the same string keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.policies.base import ReplacementPolicy
+
+__all__ = [
+    "register_policy",
+    "unregister_policy",
+    "create_policy",
+    "available_policies",
+]
+
+_REGISTRY: dict[str, Callable[[], ReplacementPolicy]] = {}
+
+
+def _canonical(name: object) -> str:
+    """Registry key for an enum member, a plain string, or a policy."""
+    value = getattr(name, "value", name)
+    return str(value).lower()
+
+
+def register_policy(
+    name: str, factory: Callable[[], ReplacementPolicy], *, overwrite: bool = False
+) -> None:
+    """Register a zero-argument policy factory (usually the class itself)."""
+    key = _canonical(name)
+    if not key:
+        raise ValueError("policy name cannot be empty")
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"policy {key!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registered policy (primarily for test hygiene)."""
+    _REGISTRY.pop(_canonical(name), None)
+
+
+def create_policy(policy: object) -> ReplacementPolicy:
+    """Instantiate the policy named by ``CacheConfig.policy``.
+
+    Accepts a :class:`~repro.core.config.Policy` member, a registered
+    name string, or an already-built :class:`ReplacementPolicy` instance
+    (passed through unchanged).
+    """
+    if isinstance(policy, ReplacementPolicy) and not isinstance(policy, (str, bytes)):
+        return policy
+    key = _canonical(policy)
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {policy!r}; registered: {available_policies()}"
+        ) from None
+    return factory()
+
+
+def available_policies() -> list[str]:
+    """Registered policy names, sorted."""
+    return sorted(_REGISTRY)

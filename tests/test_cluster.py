@@ -64,6 +64,18 @@ def test_shard_validation():
         IndexShard(-1, partition_corpus(BASE, 2)[0], cache_cfg())
 
 
+def test_shard_observes_cache_activity_via_events(log):
+    """Shards consume the event-hook seam instead of manager internals."""
+    shard = IndexShard(0, partition_corpus(BASE, 2)[0], cache_cfg())
+    for query in log.head(200):
+        shard.process_query(query)
+    assert shard.ssd_flush_count == (shard.stats.ssd_result_writes
+                                     + shard.stats.ssd_list_writes)
+    assert shard.ssd_flush_count > 0
+    assert shard.cache_events.get("admit", "result") > 0
+    assert shard.cache_events.get("evict", "list") > 0
+
+
 # -- broker ------------------------------------------------------------------------
 
 def test_broker_build_and_fanout(log):

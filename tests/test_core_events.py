@@ -1,0 +1,141 @@
+"""The cache event-hook seam: subscription mechanics and stats wiring."""
+
+import pytest
+
+from repro.core.config import CacheConfig, Policy, Scheme
+from repro.core.events import AdmitEvent, CacheEvents, EventCounter, FlushEvent
+from repro.core.manager import CacheManager, build_hierarchy_for
+from repro.core.stats import CacheStats, StatsRecorder
+from repro.engine.corpus import CorpusConfig
+from repro.engine.index import InvertedIndex
+from repro.engine.query import Query
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def index():
+    return InvertedIndex(CorpusConfig(num_docs=3000, vocab_size=60, seed=23))
+
+
+def make_manager(index, policy=Policy.CBLRU, scheme=Scheme.HYBRID, **overrides):
+    kwargs = dict(
+        mem_result_bytes=100 * KB,
+        mem_list_bytes=384 * KB,
+        ssd_result_bytes=512 * KB,
+        ssd_list_bytes=2048 * KB,
+        policy=policy,
+        scheme=scheme,
+    )
+    kwargs.update(overrides)
+    cfg = CacheConfig(**kwargs)
+    return CacheManager(cfg, build_hierarchy_for(cfg, index), index)
+
+
+# -- bus mechanics -----------------------------------------------------------
+
+def test_subscribe_and_unsubscribe():
+    events = CacheEvents()
+    seen = []
+    unsubscribe = events.subscribe(on_admit=seen.append)
+    event = AdmitEvent(kind="result", key=(1,), level="l1", nbytes=10)
+    events.admit(event)
+    assert seen == [event]
+    unsubscribe()
+    events.admit(event)
+    assert len(seen) == 1
+
+
+def test_partial_subscription_only_receives_requested_hooks():
+    events = CacheEvents()
+    flushes = []
+    events.subscribe(on_flush=flushes.append)
+    events.admit(AdmitEvent(kind="result", key=(1,), level="l1"))
+    events.flush(FlushEvent(kind="list", lba=0, nbytes=128 * KB))
+    assert len(flushes) == 1 and flushes[0].kind == "list"
+
+
+def test_event_counter_counts_by_hook_and_kind():
+    events = CacheEvents()
+    counter = EventCounter(events)
+    events.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+    events.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+    events.flush(FlushEvent(kind="list", lba=0, nbytes=1))
+    assert counter.get("flush", "result") == 2
+    assert counter.get("flush", "list") == 1
+    assert counter.get("evict", "result") == 0
+    counter.close()
+    events.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+    assert counter.get("flush", "result") == 2
+
+
+# -- the manager emits a faithful event stream -------------------------------
+
+def test_flush_events_match_ssd_write_counters(index):
+    mgr = make_manager(index)
+    counter = EventCounter(mgr.events)
+    for i in range(250):
+        mgr.process_query(Query(i % 60, (1 + i % 25, 26 + i % 20)))
+    assert mgr.stats.ssd_result_writes > 0
+    assert mgr.stats.ssd_list_writes > 0
+    assert counter.get("flush", "result") == mgr.stats.ssd_result_writes
+    assert counter.get("flush", "list") == mgr.stats.ssd_list_writes
+
+
+def test_tev_discards_and_revalidations_flow_through_events(index):
+    mgr = make_manager(index, tev=2.0)
+    tev_discards = []
+    revalidations = []
+    mgr.events.subscribe(
+        on_evict=lambda e: tev_discards.append(e) if e.reason == "tev" else None,
+        on_admit=lambda e: revalidations.append(e) if e.reason == "revalidate" else None,
+    )
+    for i in range(250):
+        mgr.process_query(Query(i % 60, (1 + i % 25, 26 + i % 20)))
+    assert len(tev_discards) == mgr.stats.discarded_by_tev
+    assert len(revalidations) == mgr.stats.ssd_writes_avoided
+    assert mgr.stats.discarded_by_tev > 0
+
+
+def test_victim_stage_events_match_stage_counters(index):
+    mgr = make_manager(index, ssd_list_bytes=512 * KB)  # tight region forces victims
+    stages = []
+    mgr.events.subscribe(on_l2_victim=lambda e: stages.append(e.stage))
+    for i in range(300):
+        mgr.process_query(Query(i, (1 + i % 30, 31 + i % 25)))
+    staged = (mgr.stats.evict_stage_replaceable + mgr.stats.evict_stage_size_match
+              + mgr.stats.evict_stage_assemble + mgr.stats.evict_stage_fallback)
+    counted = sum(1 for s in stages
+                  if s in ("replaceable", "size-match", "assemble", "fallback"))
+    assert staged > 0
+    assert counted == staged
+
+
+def test_stats_recorder_is_reusable_on_a_bare_bus():
+    events = CacheEvents()
+    stats = CacheStats()
+    recorder = StatsRecorder(stats, events)
+    events.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+    events.flush(FlushEvent(kind="list", lba=0, nbytes=1))
+    events.admit(AdmitEvent(kind="list", key=3, level="l2", reason="revalidate"))
+    assert stats.ssd_result_writes == 1
+    assert stats.ssd_list_writes == 1
+    assert stats.ssd_writes_avoided == 1
+    recorder.close()
+    events.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+    assert stats.ssd_result_writes == 1
+
+
+def test_observers_cannot_break_parity(index):
+    """Subscribing observers must not change cache behaviour."""
+    def replay(with_observer):
+        mgr = make_manager(index, policy=Policy.CBSLRU)
+        if with_observer:
+            EventCounter(mgr.events)
+        outcomes = []
+        for i in range(150):
+            out = mgr.process_query(Query(i % 40, (1 + i % 25, 26 + i % 20)))
+            outcomes.append((out.situation, out.result_hit_level, out.response_us))
+        return outcomes, mgr.occupancy()
+
+    assert replay(False) == replay(True)

@@ -1,0 +1,161 @@
+"""Golden-parity regression: the refactored cache must replay history exactly.
+
+A seeded query log is replayed under every policy x scheme combination and
+the full observable behaviour — the per-query :class:`QueryOutcome` stream,
+the final ``occupancy()`` snapshot, and the :class:`CacheStats` counters —
+is compared against fixtures recorded *before* the CacheManager decomposition
+(``tests/fixtures/core_parity.json``).  Any byte-level behaviour drift in the
+layered result/list caches or the pluggable policies fails this test.
+
+Regenerate the fixtures (only legitimate after an intentional behaviour
+change, with review) with::
+
+    PARITY_REGEN=1 PYTHONPATH=src python -m pytest tests/test_core_parity.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import CacheConfig, Policy, Scheme
+from repro.core.manager import CacheManager, build_hierarchy_for
+from repro.engine.corpus import CorpusConfig
+from repro.engine.index import InvertedIndex
+from repro.engine.querylog import QueryLogConfig, generate_query_log
+
+KB = 1024
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "core_parity.json"
+NUM_QUERIES = 300
+
+COMBOS = [(policy, scheme) for policy in Policy for scheme in Scheme]
+
+
+@pytest.fixture(scope="module")
+def parity_index() -> InvertedIndex:
+    return InvertedIndex(CorpusConfig(num_docs=4000, vocab_size=120, seed=29))
+
+
+@pytest.fixture(scope="module")
+def parity_log():
+    return generate_query_log(
+        QueryLogConfig(
+            num_queries=NUM_QUERIES,
+            distinct_queries=90,
+            vocab_size=120,
+            seed=31,
+        )
+    )
+
+
+def _build_manager(index, policy: Policy, scheme: Scheme) -> CacheManager:
+    cfg = CacheConfig(
+        mem_result_bytes=100 * KB,
+        mem_list_bytes=384 * KB,
+        ssd_result_bytes=512 * KB,
+        ssd_list_bytes=2048 * KB,
+        policy=policy,
+        scheme=scheme,
+    )
+    return CacheManager(cfg, build_hierarchy_for(cfg, index), index)
+
+
+def _stats_digest(stats) -> dict:
+    digest = {
+        name: getattr(stats, name)
+        for name in (
+            "queries",
+            "total_response_us",
+            "result_l1_hits",
+            "result_l2_hits",
+            "result_misses",
+            "list_l1_hits",
+            "list_l2_hits",
+            "list_partial_hits",
+            "list_misses",
+            "ssd_result_writes",
+            "ssd_list_writes",
+            "ssd_writes_avoided",
+            "discarded_by_tev",
+            "evict_stage_replaceable",
+            "evict_stage_size_match",
+            "evict_stage_assemble",
+            "evict_stage_fallback",
+            "expired_results",
+            "expired_lists",
+            "static_refreshes",
+        )
+    }
+    digest["situation_counts"] = {
+        s.name: n for s, n in stats.situation_counts.items()
+    }
+    return digest
+
+
+def _replay(index, log, policy: Policy, scheme: Scheme) -> dict:
+    mgr = _build_manager(index, policy, scheme)
+    record: dict = {}
+    if policy is Policy.CBSLRU:
+        record["warmup"] = mgr.warmup_static(log)
+    outcomes = []
+    for query in log:
+        out = mgr.process_query(query)
+        outcomes.append(
+            [out.situation.name, out.result_hit_level, out.response_us]
+        )
+    mgr.check_invariants()
+    record["outcomes"] = outcomes
+    record["occupancy"] = mgr.occupancy()
+    record["stats"] = _stats_digest(mgr.stats)
+    return record
+
+
+def _combo_key(policy: Policy, scheme: Scheme) -> str:
+    return f"{policy.value}/{scheme.value}"
+
+
+@pytest.mark.parametrize(
+    "policy,scheme", COMBOS, ids=[_combo_key(p, s) for p, s in COMBOS]
+)
+def test_replay_matches_golden_fixture(parity_index, parity_log, policy, scheme):
+    record = _replay(parity_index, parity_log, policy, scheme)
+    key = _combo_key(policy, scheme)
+
+    if os.environ.get("PARITY_REGEN"):
+        FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        existing = {}
+        if FIXTURE_PATH.exists():
+            existing = json.loads(FIXTURE_PATH.read_text())
+        existing[key] = record
+        FIXTURE_PATH.write_text(
+            json.dumps(existing, indent=1, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated fixture for {key}")
+
+    assert FIXTURE_PATH.exists(), (
+        "golden fixture missing; regenerate with PARITY_REGEN=1 on a trusted "
+        "revision"
+    )
+    golden = json.loads(FIXTURE_PATH.read_text())
+    assert key in golden, f"no golden record for {key}; regenerate fixtures"
+    expected = golden[key]
+
+    # Compare piecewise for readable failure output.
+    if "warmup" in expected or "warmup" in record:
+        assert record.get("warmup") == expected.get("warmup")
+    assert record["occupancy"] == expected["occupancy"]
+    assert record["stats"] == expected["stats"]
+    mismatches = [
+        (i, got, want)
+        for i, (got, want) in enumerate(zip(record["outcomes"], expected["outcomes"]))
+        if got != want
+    ]
+    assert not mismatches, (
+        f"{len(mismatches)} of {NUM_QUERIES} query outcomes diverged; "
+        f"first: {mismatches[0]}"
+    )
+    assert len(record["outcomes"]) == len(expected["outcomes"])

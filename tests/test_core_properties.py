@@ -1,13 +1,20 @@
 """Property-based tests on the core cache machinery."""
 
-from hypothesis import given, settings
+import pytest
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.config import CacheConfig, Policy, Scheme
 from repro.core.lru import LruList
+from repro.core.manager import CacheManager, build_hierarchy_for
 from repro.core.selection import efficiency_value, ssd_cache_blocks
 from repro.core.ssd_region import BlockRegion, ByteRegion
+from repro.engine.corpus import CorpusConfig
+from repro.engine.index import InvertedIndex
+from repro.engine.query import Query
 
 SB = 128 * 1024
+KB = 1024
 
 
 @settings(max_examples=100, deadline=None)
@@ -116,3 +123,54 @@ def test_byte_region_no_overlap(requests, data):
             assert e1 <= s2
         used = sum(e - s for s, e in spans)
         assert used + region.free_sectors == 64
+
+
+# -- invariant-checked replay over the layered cache manager -----------------
+
+@pytest.fixture(scope="module")
+def replay_index():
+    return InvertedIndex(CorpusConfig(num_docs=2500, vocab_size=50, seed=19))
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    policy=st.sampled_from(list(Policy)),
+    scheme=st.sampled_from(list(Scheme)),
+    ttl_us=st.sampled_from([0.0, 15_000.0]),
+    queries=st.lists(
+        st.tuples(
+            st.integers(0, 30),                               # query id
+            st.lists(st.integers(1, 40), min_size=1, max_size=3, unique=True),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_replay_preserves_invariants_after_every_query(
+    replay_index, policy, scheme, ttl_us, queries
+):
+    """check_invariants() holds after *every* query of a random replay.
+
+    Exercises the decomposed result/list caches and all three built-in
+    policies under Hypothesis-generated logs, including the dynamic (TTL)
+    scenario, so any accounting drift inside the layers surfaces at the
+    exact query that introduced it.
+    """
+    cfg = CacheConfig(
+        mem_result_bytes=60 * KB,
+        mem_list_bytes=256 * KB,
+        ssd_result_bytes=384 * KB,
+        ssd_list_bytes=1024 * KB,
+        policy=policy,
+        scheme=scheme,
+        ttl_us=ttl_us,
+    )
+    mgr = CacheManager(cfg, build_hierarchy_for(cfg, replay_index), replay_index)
+    for qid, terms in queries:
+        mgr.process_query(Query(qid, tuple(terms)))
+        mgr.check_invariants()
+    assert mgr.stats.queries == len(queries)
