@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the common standalone uses of the library::
+The subcommands cover the common standalone uses of the library::
 
     repro corpus   --docs 1000000                 # corpus statistics
     repro trace    --requests 50000 --out t.spc   # synthetic trace + analysis
     repro analyze  t.spc --format spc             # analyze an existing trace
     repro run      --policy cbslru --queries 5000 # full cached retrieval run
+    repro run      ... --telemetry out/           # + spans & metrics dump
+    repro report   out/                           # re-read a telemetry dir
+    repro compare  --queries 5000                 # all policies side by side
 
 Install exposes ``repro`` as a console entry point; ``python -m
 repro.cli`` works without installation.
@@ -62,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--three-level", action="store_true",
                    help="enable the intersection cache (Long & Suel [19])")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                   help="collect spans + metrics and write them to DIR "
+                        "(spans.jsonl, metrics.json, metrics.prom)")
+
+    p = sub.add_parser("report",
+                       help="print the per-stage breakdown of a telemetry dir")
+    p.add_argument("dir", type=str,
+                   help="directory written by `repro run --telemetry`")
 
     p = sub.add_parser("compare",
                        help="run all three policies and emit a markdown report")
@@ -144,6 +155,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.manager import CacheManager, build_hierarchy_for
     from repro.workloads.sweep import make_log_for, make_scaled_index
 
+    telemetry = None
+    if args.telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+
     index = make_scaled_index(args.docs)
     log = make_log_for(args.queries, seed=args.seed)
     cfg = CacheConfig.paper_split(
@@ -153,9 +170,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     hierarchy = build_hierarchy_for(cfg, index)
     if args.three_level:
-        manager: CacheManager = ThreeLevelCacheManager(cfg, hierarchy, index)
+        manager: CacheManager = ThreeLevelCacheManager(
+            cfg, hierarchy, index, telemetry=telemetry)
     else:
-        manager = CacheManager(cfg, hierarchy, index)
+        manager = CacheManager(cfg, hierarchy, index, telemetry=telemetry)
     if cfg.policy is Policy.CBSLRU and cfg.uses_ssd:
         manager.warmup_static(log)
     for query in log:
@@ -179,26 +197,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows.append(["intersection hits", inter.hits])
     print(format_table(["metric", "value"], rows,
                        title=f"{args.policy.upper()} on {args.docs:,} docs"))
+    if telemetry is not None:
+        from repro.obs import format_stage_breakdown, write_telemetry_dir
+
+        print()
+        print(format_stage_breakdown(telemetry.registry,
+                                     title="per-stage latency"))
+        written = write_telemetry_dir(telemetry, args.telemetry)
+        print(f"\nwrote {written['spans']} spans and {written['metrics']} "
+              f"metrics to {args.telemetry}/")
+        if written["dropped_spans"]:
+            print(f"({written['dropped_spans']} spans dropped past the cap)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import (
+        format_stage_breakdown,
+        load_metrics_json,
+        validate_telemetry_dir,
+    )
+
+    counts = validate_telemetry_dir(args.dir)
+    snapshot = load_metrics_json(os.path.join(args.dir, "metrics.json"))
+    print(format_stage_breakdown(
+        snapshot, title=f"per-stage latency ({args.dir})"))
+    print(f"\n{counts['spans']} spans, {counts['metrics']} metrics")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.report import policy_comparison_report
     from repro.core.config import CacheConfig, Policy
+    from repro.obs import Telemetry, format_stage_comparison
     from repro.workloads.retrieval import run_cached
     from repro.workloads.sweep import make_log_for, make_scaled_index
 
     index = make_scaled_index(args.docs)
     log = make_log_for(args.queries, seed=args.seed)
     results = {}
+    registries = {}
     for policy in (Policy.LRU, Policy.CBLRU, Policy.CBSLRU):
         cfg = CacheConfig.paper_split(args.mem_mb * MB, args.ssd_mb * MB,
                                       policy=policy)
+        tel = Telemetry(trace=False)
         results[policy.value] = run_cached(
-            index, log, cfg, static_analyze_queries=args.queries // 2
+            index, log, cfg, static_analyze_queries=args.queries // 2,
+            telemetry=tel,
         )
+        registries[policy.value] = tel.registry
     report = policy_comparison_report(
         results, title=f"Policy comparison on {args.docs:,} docs"
+    )
+    report += "\n\n" + format_stage_comparison(
+        registries, title="per-stage latency by policy"
     )
     print(report)
     if args.out:
@@ -215,6 +269,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "analyze": _cmd_analyze,
         "run": _cmd_run,
+        "report": _cmd_report,
         "compare": _cmd_compare,
     }
     return handlers[args.command](args)

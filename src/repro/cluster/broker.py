@@ -100,14 +100,26 @@ class Broker:
         num_shards: int,
         cache_config: CacheConfig,
         merge_overhead_us: float = 200.0,
+        telemetry: bool = False,
     ) -> "Broker":
-        """Partition ``corpus`` and assemble a cluster of cached shards."""
+        """Partition ``corpus`` and assemble a cluster of cached shards.
+
+        ``telemetry=True`` gives every shard its own
+        :class:`~repro.obs.Telemetry` (registry only, no spans — span
+        volume across a whole cluster would swamp memory); aggregate the
+        registries with :meth:`aggregated_registry`.
+        """
         from repro.cluster.shard import partition_corpus
 
         partitions = partition_corpus(corpus, num_shards)
-        shards = [
-            IndexShard(i, stats, cache_config) for i, stats in enumerate(partitions)
-        ]
+        shards = []
+        for i, stats in enumerate(partitions):
+            tel = None
+            if telemetry:
+                from repro.obs import Telemetry
+
+                tel = Telemetry(trace=False)
+            shards.append(IndexShard(i, stats, cache_config, telemetry=tel))
         return cls(shards, merge_overhead_us=merge_overhead_us)
 
     def warmup_static(self, log: QueryLog, analyze_queries: int | None = None) -> None:
@@ -159,6 +171,27 @@ class Broker:
 
     def total_ssd_erases(self) -> int:
         return sum(s.ssd_erase_count for s in self.shards)
+
+    def cache_event_totals(self):
+        """Cluster-wide cache-event counts: the key-wise sum of every
+        shard's :class:`~repro.core.events.EventCounter`."""
+        from repro.core.events import EventCounter
+
+        total = EventCounter()
+        for shard in self.shards:
+            total.merge(shard.cache_events)
+        return total
+
+    def aggregated_registry(self):
+        """One merged :class:`~repro.obs.MetricsRegistry` over all shards
+        that carry telemetry (counters/histograms sum across shards)."""
+        from repro.obs import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for shard in self.shards:
+            if shard.telemetry is not None:
+                merged.merge(shard.telemetry.registry)
+        return merged
 
     def combined_hit_ratio(self) -> float:
         """Request-weighted hit ratio across all shards."""

@@ -63,6 +63,7 @@ class IndexShard:
         stats: CorpusStats,
         cache_config: CacheConfig,
         seed: int = 1234,
+        telemetry=None,
     ) -> None:
         if shard_id < 0:
             raise ValueError("shard_id cannot be negative")
@@ -70,7 +71,11 @@ class IndexShard:
         self.index = InvertedIndex(stats)
         self.cache_config = cache_config
         hierarchy = build_hierarchy_for(cache_config, self.index)
-        self.manager = CacheManager(cache_config, hierarchy, self.index)
+        # Per-shard telemetry (repro.obs): each server owns its registry
+        # and tracer; the broker aggregates registries across shards.
+        self.telemetry = telemetry
+        self.manager = CacheManager(cache_config, hierarchy, self.index,
+                                    telemetry=telemetry)
         # Per-shard cache observability via the event-hook seam instead of
         # reaching into the manager's cache internals.
         self.cache_events = EventCounter(self.manager.events)

@@ -85,12 +85,38 @@ class L2VictimEvent:
     stage: str
 
 
+def _dispatch(hooks: list, event) -> None:
+    """Deliver ``event`` to every hook even if one raises.
+
+    Dispatch semantics: a failing subscriber must not prevent later
+    subscribers from receiving the event — every hook runs to completion,
+    then the *first* exception is re-raised so a broken observer still
+    fails loudly (in tests and benchmarks) instead of silently skewing
+    what it measures.
+    """
+    if len(hooks) == 1:
+        # Single subscriber (the common case): isolation is moot and the
+        # first exception is simply the exception.
+        hooks[0](event)
+        return
+    first_exc: Exception | None = None
+    for cb in tuple(hooks):
+        try:
+            cb(event)
+        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+            if first_exc is None:
+                first_exc = exc
+    if first_exc is not None:
+        raise first_exc
+
+
 class CacheEvents:
     """Synchronous fan-out of the four cache hooks.
 
-    Subscribers must not mutate cache state; they observe.  Exceptions
-    propagate — a broken observer should fail loudly in tests rather than
-    silently skew what it measures.
+    Subscribers must not mutate cache state; they observe.  A raising
+    subscriber never starves the ones registered after it (see
+    :func:`_dispatch`): all hooks are notified first, then the first
+    exception propagates.
     """
 
     def __init__(self) -> None:
@@ -129,37 +155,37 @@ class CacheEvents:
     # -- emission (called by the cache layers) ---------------------------
 
     def admit(self, event: AdmitEvent) -> None:
-        for cb in tuple(self._on_admit):
-            cb(event)
+        _dispatch(self._on_admit, event)
 
     def evict(self, event: EvictEvent) -> None:
-        for cb in tuple(self._on_evict):
-            cb(event)
+        _dispatch(self._on_evict, event)
 
     def flush(self, event: FlushEvent) -> None:
-        for cb in tuple(self._on_flush):
-            cb(event)
+        _dispatch(self._on_flush, event)
 
     def l2_victim(self, event: L2VictimEvent) -> None:
-        for cb in tuple(self._on_l2_victim):
-            cb(event)
+        _dispatch(self._on_l2_victim, event)
 
 
 class EventCounter:
     """Counts events by ``(hook, kind)`` — e.g. ``("flush", "result")``.
 
     A drop-in observer for cluster shards and benchmarks that want cache
-    activity without touching cache internals.
+    activity without touching cache internals.  Pass ``events=None`` for
+    a detached counter that only aggregates others via :meth:`merge`
+    (how a broker sums its shards).
     """
 
-    def __init__(self, events: CacheEvents) -> None:
+    def __init__(self, events: CacheEvents | None = None) -> None:
         self.counts: dict[tuple[str, str], int] = {}
-        self._unsubscribe = events.subscribe(
-            on_admit=lambda e: self._bump("admit", e.kind),
-            on_evict=lambda e: self._bump("evict", e.kind),
-            on_flush=lambda e: self._bump("flush", e.kind),
-            on_l2_victim=lambda e: self._bump("l2_victim", e.kind),
-        )
+        self._unsubscribe: Callable[[], None] | None = None
+        if events is not None:
+            self._unsubscribe = events.subscribe(
+                on_admit=lambda e: self._bump("admit", e.kind),
+                on_evict=lambda e: self._bump("evict", e.kind),
+                on_flush=lambda e: self._bump("flush", e.kind),
+                on_l2_victim=lambda e: self._bump("l2_victim", e.kind),
+            )
 
     def _bump(self, hook: str, kind: str) -> None:
         key = (hook, kind)
@@ -168,5 +194,19 @@ class EventCounter:
     def get(self, hook: str, kind: str) -> int:
         return self.counts.get((hook, kind), 0)
 
+    def merge(self, other: "EventCounter") -> "EventCounter":
+        """Sum another counter into this one, key-wise.
+
+        Every ``(hook, kind)`` key the other counter saw is preserved —
+        including combinations this counter never observed itself — so
+        broker-level aggregation equals the sum of shard-level counts.
+        Returns self for chaining.
+        """
+        for key, n in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + n
+        return self
+
     def close(self) -> None:
-        self._unsubscribe()
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None

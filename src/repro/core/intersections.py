@@ -123,9 +123,11 @@ class ThreeLevelCacheManager(CacheManager):
         intersection_bytes: int = 8 * 1024 * 1024,
         min_pair_freq: int = 2,
         materialize_results: bool = False,
+        telemetry=None,
     ) -> None:
         super().__init__(config, hierarchy, index, processor,
-                         materialize_results=materialize_results)
+                         materialize_results=materialize_results,
+                         telemetry=telemetry)
         if min_pair_freq < 1:
             raise ValueError("min_pair_freq must be >= 1")
         self.intersections = IntersectionCache(

@@ -22,6 +22,7 @@ from repro.core.lru import LruList
 from repro.core.selection import efficiency_value, ssd_cache_blocks
 from repro.core.ssd_region import BlockRegion, ByteRegion
 from repro.flash.constants import SECTOR_BYTES
+from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:
     from repro.core.config import CacheConfig
@@ -47,6 +48,7 @@ class ListCache:
         store,
         stats: CacheStats,
         events: CacheEvents,
+        tracer=NULL_TRACER,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -58,6 +60,7 @@ class ListCache:
         self.store = store
         self.stats = stats
         self.events = events
+        self.tracer = tracer
 
         # ---- L1 (memory) ----
         self.l1: LruList[int, CachedList] = LruList(config.replace_window)
@@ -95,6 +98,17 @@ class ListCache:
         self, term_id: int, needed: int, total_bytes: int, pu: float
     ) -> tuple[bool, bool, bool]:
         """Bring the traversed prefix of one list in; returns source flags."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._fetch(term_id, needed, total_bytes, pu)
+        with tracer.span("list.fetch", term=term_id, needed=needed) as span:
+            flags = self._fetch(term_id, needed, total_bytes, pu)
+            span.set(mem=flags[0], ssd=flags[1], hdd=flags[2])
+        return flags
+
+    def _fetch(
+        self, term_id: int, needed: int, total_bytes: int, pu: float
+    ) -> tuple[bool, bool, bool]:
         covered = 0
         src_mem = src_ssd = src_hdd = False
 

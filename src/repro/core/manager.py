@@ -31,6 +31,7 @@ from repro.core.policies import create_policy
 from repro.core.result_cache import ResultCache
 from repro.core.stats import CacheStats, Situation, StatsRecorder
 from repro.engine.index import InvertedIndex
+from repro.obs.tracer import NULL_TRACER
 from repro.engine.processor import QueryProcessor
 from repro.engine.query import Query
 from repro.engine.querylog import QueryLog
@@ -107,6 +108,7 @@ class CacheManager:
         index: InvertedIndex,
         processor: QueryProcessor | None = None,
         materialize_results: bool = False,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
@@ -120,6 +122,17 @@ class CacheManager:
         self.stats = CacheStats()
         self.events = CacheEvents()
         self._stats_recorder = StatsRecorder(self.stats, self.events)
+        # Observability: the telemetry bundle (repro.obs) is optional and
+        # must never perturb the simulation — the tracer and registry only
+        # observe clock time and events the run produces anyway.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_clock(self.clock)
+            telemetry.observe_cache_events(self.events)
+            self._tracer = telemetry.tracer
+            hierarchy.attach_tracer(self._tracer)
+        else:
+            self._tracer = NULL_TRACER
 
         if config.uses_ssd and self.ssd is None:
             raise ValueError("cache config needs an SSD tier but the hierarchy has none")
@@ -139,6 +152,7 @@ class CacheManager:
             ssd=self.ssd,
             stats=self.stats,
             events=self.events,
+            tracer=self._tracer,
         )
         self.list_cache = ListCache(
             config=config,
@@ -151,6 +165,7 @@ class CacheManager:
             store=self.store,
             stats=self.stats,
             events=self.events,
+            tracer=self._tracer,
         )
 
     # ------------------------------------------------------------------
@@ -158,7 +173,27 @@ class CacheManager:
     # ------------------------------------------------------------------
 
     def process_query(self, query: Query) -> QueryOutcome:
-        """Run one query through the Table I flow."""
+        """Run one query through the Table I flow.
+
+        With telemetry attached, the whole flow runs inside a ``query``
+        span and the per-device busy-time deltas become the per-stage
+        latency histograms (``stage_latency_us``); stage durations sum
+        exactly to the query's response time.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return self._process_query(query)
+        busy0 = tel.busy_snapshot(self.clock)
+        with self._tracer.span("query", qid=self.stats.queries,
+                               terms=len(query.key)) as span:
+            outcome = self._process_query(query)
+            span.set(situation=outcome.situation.name,
+                     hit_level=outcome.result_hit_level)
+        tel.record_query(outcome.situation.name, outcome.response_us,
+                         busy0, self.clock)
+        return outcome
+
+    def _process_query(self, query: Query) -> QueryOutcome:
         t0 = self.clock.now_us
         key = query.key
 

@@ -21,6 +21,7 @@ from repro.core.lru import LruList
 from repro.core.placement import WriteBuffer
 from repro.core.ssd_region import BlockRegion, ByteRegion
 from repro.flash.constants import SECTOR_BYTES
+from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:
     from repro.core.config import CacheConfig
@@ -42,6 +43,7 @@ class ResultCache:
         ssd,
         stats: CacheStats,
         events: CacheEvents,
+        tracer=NULL_TRACER,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -50,6 +52,7 @@ class ResultCache:
         self.ssd = ssd
         self.stats = stats
         self.events = events
+        self.tracer = tracer
 
         # ---- L1 (memory) ----
         self.l1: LruList[tuple[int, ...], CachedResult] = LruList(config.replace_window)
@@ -96,6 +99,15 @@ class ResultCache:
         dynamic scenario (ttl_us > 0), stale copies are discarded on the
         way down and the query recomputes from fresh index data.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._lookup(key)
+        with tracer.span("result.lookup") as span:
+            level = self._lookup(key)
+            span.set(hit_level=level)
+        return level
+
+    def _lookup(self, key: tuple[int, ...]) -> int:
         cfg = self.config
         entry = self.l1.get(key)
         if entry is not None:

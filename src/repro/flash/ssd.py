@@ -69,6 +69,8 @@ class SimulatedSSD:
         self.clock = clock or VirtualClock()
         self.name = name
         self.counters = CounterSet()
+        #: Optional span tracer (repro.obs); None keeps the hot path bare.
+        self.tracer = None
 
     # -- capacity ------------------------------------------------------------
 
@@ -114,12 +116,18 @@ class SimulatedSSD:
         self.counters.add("access_time_us", latency)
         self.clock.advance(latency)
         self.clock.charge(self.name, latency)
+        if self.tracer is not None:
+            now = self.clock.now_us
+            self.tracer.record(f"{self.name}.read", now - latency, now,
+                               lba=lba, nbytes=nbytes, pages=len(pages))
         return latency
 
     def write(self, lba: int, nbytes: int) -> float:
         """Write ``nbytes`` at sector ``lba``; returns service time in us."""
         self.ftl.set_time(self.clock.now_us)
         pages = self._page_span(lba, nbytes)
+        tr = self.tracer
+        erases_before = self.ftl.erase_count_total if tr is not None else 0
         write_span = getattr(self.ftl, "write_span", None)
         if write_span is not None:
             latency = write_span(pages.start, len(pages))
@@ -132,6 +140,15 @@ class SimulatedSSD:
         self.counters.add("access_time_us", latency)
         self.clock.advance(latency)
         self.clock.charge(self.name, latency)
+        if tr is not None:
+            # FTL activity rides on the span: GC erases triggered by this
+            # host write show up as an attribute, not a guess.
+            now = self.clock.now_us
+            attrs = {"lba": lba, "nbytes": nbytes, "pages": len(pages)}
+            erased = self.ftl.erase_count_total - erases_before
+            if erased:
+                attrs["gc_erases"] = erased
+            tr.record(f"{self.name}.write", now - latency, now, **attrs)
         return latency
 
     def trim(self, lba: int, nbytes: int) -> float:
@@ -171,6 +188,10 @@ class SimulatedSSD:
         used = bg(budget_us)
         self.counters.add("bg_gc_us", used)
         self.clock.charge(f"{self.name}-bg", used)
+        if self.tracer is not None and used > 0:
+            # Overlapped with host think time: zero-duration marker span.
+            now = self.clock.now_us
+            self.tracer.record(f"{self.name}.bg-gc", now, now, used_us=used)
         return used
 
     # -- reporting -----------------------------------------------------------------

@@ -41,6 +41,8 @@ class SimulatedHDD:
         self.rng = rng
         self.name = name
         self.counters = CounterSet()
+        #: Optional span tracer (repro.obs); None keeps the hot path bare.
+        self.tracer = None
         self._head_lba = 0
 
     @property
@@ -81,6 +83,10 @@ class SimulatedHDD:
         self.counters.add("access_time_us", latency)
         self.clock.advance(latency)
         self.clock.charge(self.name, latency)
+        if self.tracer is not None:
+            now = self.clock.now_us
+            self.tracer.record(f"{self.name}.read", now - latency, now,
+                               lba=lba, nbytes=nbytes)
         return latency
 
     def write(self, lba: int, nbytes: int) -> float:
@@ -90,6 +96,10 @@ class SimulatedHDD:
         self.counters.add("access_time_us", latency)
         self.clock.advance(latency)
         self.clock.charge(self.name, latency)
+        if self.tracer is not None:
+            now = self.clock.now_us
+            self.tracer.record(f"{self.name}.write", now - latency, now,
+                               lba=lba, nbytes=nbytes)
         return latency
 
     def trim(self, lba: int, nbytes: int) -> float:

@@ -1,0 +1,61 @@
+"""repro.obs — the observability subsystem.
+
+First-class telemetry for the reproduction: typed instruments
+(:class:`Counter`, :class:`Gauge`, log-bucketed :class:`Histogram` with
+exact percentile extraction), a :class:`MetricsRegistry` of tagged
+instruments, a zero-cost-when-disabled :class:`Tracer` producing nested
+spans on the simulated clock, a :class:`CacheEventMetrics` bridge from
+the :class:`~repro.core.events.CacheEvents` bus, and exposition as
+Prometheus text, JSON snapshots and JSONL span dumps.
+
+Everything hangs off one :class:`Telemetry` object::
+
+    from repro.obs import Telemetry, write_telemetry_dir
+
+    tel = Telemetry()
+    manager = CacheManager(cfg, hierarchy, index, telemetry=tel)
+    for query in log:
+        manager.process_query(query)
+    write_telemetry_dir(tel, "telemetry/")
+"""
+
+from repro.obs.cache_metrics import CacheEventMetrics
+from repro.obs.export import (
+    load_metrics_json,
+    prometheus_text,
+    validate_telemetry_dir,
+    write_metrics_json,
+    write_telemetry_dir,
+)
+from repro.obs.instruments import DEFAULT_PERCENTILES, Counter, Gauge, Histogram
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import (
+    format_stage_breakdown,
+    format_stage_comparison,
+    stage_summary,
+)
+from repro.obs.telemetry import Telemetry, stage_of_channel
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_PERCENTILES",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CacheEventMetrics",
+    "Telemetry",
+    "stage_of_channel",
+    "prometheus_text",
+    "write_metrics_json",
+    "load_metrics_json",
+    "write_telemetry_dir",
+    "validate_telemetry_dir",
+    "stage_summary",
+    "format_stage_breakdown",
+    "format_stage_comparison",
+]

@@ -1,0 +1,66 @@
+"""CacheEvents-bus subscriber that feeds a metrics registry.
+
+Turns every admit/evict/flush/victim event into registry counters tagged
+by tier, kind and reason, so policy behaviour — CBLRU window churn, TEV
+discards, Section VI.C revalidations, Fig. 13 victim-search stages — is
+quantifiable without touching cache internals.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import CacheEvents
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["CacheEventMetrics"]
+
+
+class CacheEventMetrics:
+    """Subscribes a registry to a :class:`~repro.core.events.CacheEvents` bus.
+
+    Emitted series (all counters):
+
+    * ``cache_admits_total{kind, level, reason}`` — ``reason`` is
+      ``"insert"`` for plain admissions, ``"revalidate"`` for avoided
+      SSD rewrites;
+    * ``cache_evicts_total{kind, level, reason}`` — capacity / tev /
+      expired / invalidate / ...;
+    * ``cache_flushes_total{kind}`` and ``cache_flush_bytes_total{kind}``
+      — physical SSD cache-file writes;
+    * ``cache_l2_victims_total{kind, stage}`` — Fig. 11/13 victim-search
+      stages.
+    """
+
+    def __init__(self, registry: MetricsRegistry, events: CacheEvents) -> None:
+        self.registry = registry
+        self._unsubscribe = events.subscribe(
+            on_admit=self._on_admit,
+            on_evict=self._on_evict,
+            on_flush=self._on_flush,
+            on_l2_victim=self._on_l2_victim,
+        )
+
+    def _on_admit(self, event) -> None:
+        self.registry.counter(
+            "cache_admits_total", kind=event.kind, level=event.level,
+            reason=event.reason or "insert",
+        ).inc()
+
+    def _on_evict(self, event) -> None:
+        self.registry.counter(
+            "cache_evicts_total", kind=event.kind, level=event.level,
+            reason=event.reason or "unspecified",
+        ).inc()
+
+    def _on_flush(self, event) -> None:
+        self.registry.counter("cache_flushes_total", kind=event.kind).inc()
+        self.registry.counter(
+            "cache_flush_bytes_total", kind=event.kind
+        ).inc(event.nbytes)
+
+    def _on_l2_victim(self, event) -> None:
+        self.registry.counter(
+            "cache_l2_victims_total", kind=event.kind, stage=event.stage
+        ).inc()
+
+    def close(self) -> None:
+        self._unsubscribe()

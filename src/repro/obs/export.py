@@ -1,0 +1,139 @@
+"""Exposition: Prometheus-style text, JSON snapshots, telemetry dirs.
+
+A telemetry directory (``repro run --telemetry DIR``) holds::
+
+    spans.jsonl    one span object per line (see repro.obs.tracer)
+    metrics.json   MetricsRegistry.snapshot() (schema repro.obs.metrics/v1)
+    metrics.prom   the same registry as Prometheus text exposition
+
+:func:`validate_telemetry_dir` is the schema check used by both the CI
+smoke job and ``repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "prometheus_text",
+    "write_metrics_json",
+    "write_telemetry_dir",
+    "load_metrics_json",
+    "validate_telemetry_dir",
+]
+
+_SPAN_FIELDS = {"span_id", "parent_id", "name", "start_us", "end_us",
+                "dur_us", "attrs"}
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(tags: dict, extra: dict | None = None) -> str:
+    labels = dict(tags)
+    if extra:
+        labels.update(extra)
+    if not labels:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Histograms are rendered summary-style: ``{quantile="0.5"}`` lines
+    plus ``_sum`` and ``_count`` (quantiles are what the latency series
+    mean; cumulative ``le`` buckets would just re-encode the log layout).
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, tags, inst in registry.items():
+        pname = _prom_name(name)
+        if inst.kind in ("counter", "gauge"):
+            if pname not in typed:
+                lines.append(f"# TYPE {pname} {inst.kind}")
+                typed.add(pname)
+            lines.append(f"{pname}{_prom_labels(tags)} {inst.value}")
+        else:
+            if pname not in typed:
+                lines.append(f"# TYPE {pname} summary")
+                typed.add(pname)
+            if inst.count:
+                for q, v in zip((0.5, 0.9, 0.95, 0.99, 0.999),
+                                inst.percentiles()):
+                    lines.append(
+                        f"{pname}{_prom_labels(tags, {'quantile': q})} {v}"
+                    )
+            lines.append(f"{pname}_sum{_prom_labels(tags)} {inst.sum}")
+            lines.append(f"{pname}_count{_prom_labels(tags)} {inst.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_json(registry: MetricsRegistry, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(registry.snapshot(), fh, indent=1)
+        fh.write("\n")
+
+
+def load_metrics_json(path) -> dict:
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    if snapshot.get("schema") != "repro.obs.metrics/v1":
+        raise ValueError(f"{path}: not a repro.obs metrics snapshot")
+    return snapshot
+
+
+def write_telemetry_dir(telemetry, out_dir) -> dict:
+    """Write spans.jsonl / metrics.json / metrics.prom; returns a summary."""
+    os.makedirs(out_dir, exist_ok=True)
+    spans = telemetry.tracer.export_jsonl(os.path.join(out_dir, "spans.jsonl"))
+    write_metrics_json(telemetry.registry, os.path.join(out_dir, "metrics.json"))
+    with open(os.path.join(out_dir, "metrics.prom"), "w") as fh:
+        fh.write(prometheus_text(telemetry.registry))
+    return {"spans": spans, "metrics": len(telemetry.registry),
+            "dropped_spans": telemetry.tracer.dropped}
+
+
+def validate_telemetry_dir(out_dir) -> dict:
+    """Check a telemetry dir is non-empty and schema-valid.
+
+    Raises ``ValueError`` on any violation; returns ``{"spans": n,
+    "metrics": m}`` on success.  Used by the CI smoke job.
+    """
+    spans_path = os.path.join(out_dir, "spans.jsonl")
+    metrics_path = os.path.join(out_dir, "metrics.json")
+    for path in (spans_path, metrics_path):
+        if not os.path.exists(path):
+            raise ValueError(f"missing telemetry file: {path}")
+
+    n_spans = 0
+    with open(spans_path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            span = json.loads(line)
+            missing = _SPAN_FIELDS - span.keys()
+            if missing:
+                raise ValueError(
+                    f"{spans_path}:{lineno}: span missing fields {sorted(missing)}"
+                )
+            if span["end_us"] < span["start_us"]:
+                raise ValueError(f"{spans_path}:{lineno}: span ends before it starts")
+            n_spans += 1
+    if n_spans == 0:
+        raise ValueError(f"{spans_path}: no spans recorded")
+
+    snapshot = load_metrics_json(metrics_path)
+    metrics = snapshot.get("metrics", [])
+    if not metrics:
+        raise ValueError(f"{metrics_path}: no metrics recorded")
+    for m in metrics:
+        for fld in ("name", "tags", "kind"):
+            if fld not in m:
+                raise ValueError(f"{metrics_path}: metric missing {fld!r}: {m}")
+        if m["kind"] not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"{metrics_path}: unknown metric kind {m['kind']!r}")
+    return {"spans": n_spans, "metrics": len(metrics)}

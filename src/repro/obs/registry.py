@@ -1,0 +1,94 @@
+"""The metrics registry: named, tagged instruments with aggregation.
+
+One registry per observed component (a cache manager, an index shard);
+:meth:`MetricsRegistry.merge` folds many registries into a cluster-level
+view (the broker sums its shards').  Instruments are identified by
+``(name, tags)``; asking for the same identity twice returns the same
+instrument, so hot paths can keep a reference and skip the lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.obs.instruments import Counter, Gauge, Histogram
+
+__all__ = ["MetricsRegistry"]
+
+_TagKey = tuple[tuple[str, str], ...]
+
+
+def _tag_key(tags: dict) -> _TagKey:
+    return tuple(sorted((k, str(v)) for k, v in tags.items()))
+
+
+class MetricsRegistry:
+    """Registry of counters, gauges and histograms keyed by name + tags."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, _TagKey], Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(self, name: str, tags: dict, factory, kind: str):
+        key = (name, _tag_key(tags))
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = factory()
+            self._metrics[key] = inst
+        elif inst.kind != kind:
+            raise TypeError(
+                f"metric {name!r} with tags {dict(tags)} already registered "
+                f"as a {inst.kind}, not a {kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **tags) -> Counter:
+        return self._get_or_create(name, tags, Counter, "counter")
+
+    def gauge(self, name: str, **tags) -> Gauge:
+        return self._get_or_create(name, tags, Gauge, "gauge")
+
+    def histogram(self, name: str, lo: float = 0.5, growth: float = 1.04,
+                  **tags) -> Histogram:
+        return self._get_or_create(
+            name, tags, lambda: Histogram(lo=lo, growth=growth), "histogram"
+        )
+
+    # -- iteration and export ------------------------------------------------
+
+    def items(self) -> Iterator[tuple[str, dict, Counter | Gauge | Histogram]]:
+        """Yield ``(name, tags, instrument)`` sorted by identity."""
+        for (name, tag_key), inst in sorted(self._metrics.items()):
+            yield name, dict(tag_key), inst
+
+    def get(self, name: str, **tags):
+        """The instrument at this identity, or None."""
+        return self._metrics.get((name, _tag_key(tags)))
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every instrument."""
+        metrics = []
+        for name, tags, inst in self.items():
+            entry = {"name": name, "tags": tags, "kind": inst.kind}
+            entry.update(inst.snapshot())
+            metrics.append(entry)
+        return {"schema": "repro.obs.metrics/v1", "metrics": metrics}
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (counters/histograms sum,
+        gauges take the merged-in reading).  Returns self for chaining."""
+        for (name, tag_key), inst in other._metrics.items():
+            tags = dict(tag_key)
+            if inst.kind == "counter":
+                mine = self.counter(name, **tags)
+            elif inst.kind == "gauge":
+                mine = self.gauge(name, **tags)
+            else:
+                mine = self.histogram(name, lo=inst.lo, growth=inst.growth,
+                                      **tags)
+            mine.merge(inst)
+        return self

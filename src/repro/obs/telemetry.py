@@ -1,0 +1,102 @@
+"""The telemetry bundle: one registry + one tracer, attached as a unit.
+
+``Telemetry()`` is what users hand to a :class:`~repro.core.manager.
+CacheManager` (or an :class:`~repro.cluster.shard.IndexShard`)::
+
+    tel = Telemetry()
+    manager = CacheManager(cfg, hierarchy, index, telemetry=tel)
+    ... run queries ...
+    write_telemetry_dir(tel, "out/")
+
+The manager binds the tracer to its virtual clock, subscribes the
+registry to its :class:`~repro.core.events.CacheEvents` bus, hooks the
+hierarchy's devices, and calls :meth:`Telemetry.record_query` after each
+query with the per-channel busy-time deltas — which is where the
+per-stage latency histograms (``stage_latency_us{stage=l1|l2|hdd|cpu}``)
+come from.  Stage durations are exact busy-time attributions, so their
+per-query sum equals the query's response time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.cache_metrics import CacheEventMetrics
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["Telemetry", "stage_of_channel"]
+
+
+def stage_of_channel(channel: str) -> str | None:
+    """Map a clock busy channel to a query stage.
+
+    Background channels (``*-bg``, overlapped GC) are not part of any
+    query's response time and map to None.
+    """
+    if channel.endswith("-bg"):
+        return None
+    return {
+        "dram": "l1",
+        "ssd-cache": "l2",
+        "index-hdd": "hdd",
+        "index-ssd": "store-ssd",
+    }.get(channel, channel)
+
+
+class Telemetry:
+    """A metrics registry and a span tracer that travel together.
+
+    ``trace=False`` keeps the registry (counters, histograms, stage
+    breakdown) but records no spans — the cheap mode for long sweeps.
+    """
+
+    def __init__(self, clock=None, trace: bool = True,
+                 max_spans: int = 1_000_000) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock, max_spans=max_spans) if trace else NULL_TRACER
+        self._bridges: list[CacheEventMetrics] = []
+
+    def bind_clock(self, clock) -> None:
+        """Late-bind the tracer to a clock (managers own their clock)."""
+        if isinstance(self.tracer, Tracer) and self.tracer.clock is None:
+            self.tracer.clock = clock
+
+    def observe_cache_events(self, events) -> CacheEventMetrics:
+        """Subscribe the registry to a cache-event bus."""
+        bridge = CacheEventMetrics(self.registry, events)
+        self._bridges.append(bridge)
+        return bridge
+
+    def busy_snapshot(self, clock) -> dict[str, float]:
+        """Per-channel busy time now; pass to :meth:`record_query` later."""
+        return {ch: clock.busy_us(ch) for ch in clock.channels()}
+
+    def record_query(self, situation: str, response_us: float,
+                     busy_before: dict[str, float], clock) -> None:
+        """Attribute one query's response time to stages.
+
+        Each device channel's busy-time delta over the query becomes a
+        ``stage_latency_us`` sample; the remainder (scoring, software
+        overhead) is the ``cpu`` stage, so the stage sums reconcile
+        exactly with total response time.
+        """
+        reg = self.registry
+        devices = 0.0
+        for ch in clock.channels():
+            stage = stage_of_channel(ch)
+            if stage is None:
+                continue
+            delta = clock.busy_us(ch) - busy_before.get(ch, 0.0)
+            if delta > 0.0:
+                reg.histogram("stage_latency_us", stage=stage).record(delta)
+                devices += delta
+        cpu = response_us - devices
+        if cpu > 1e-9:
+            reg.histogram("stage_latency_us", stage="cpu").record(cpu)
+        reg.histogram("query_latency_us", situation=situation).record(response_us)
+        reg.counter("queries_total", situation=situation).inc()
+
+    def close(self) -> None:
+        """Detach every event-bus subscription."""
+        for bridge in self._bridges:
+            bridge.close()
+        self._bridges.clear()

@@ -1,0 +1,176 @@
+"""Nested spans over the simulated clock, exported as JSONL.
+
+A :class:`Tracer` answers *where a query's microseconds went*: the cache
+manager opens a ``query`` span, the cache layers open probe/fetch spans
+inside it, and every device access lands as a leaf span — all stamped
+with :class:`~repro.sim.clock.VirtualClock` time, so span durations
+reconcile exactly with the simulation's latency accounting.
+
+Span JSONL schema (one object per line)::
+
+    {"span_id": 3, "parent_id": 1, "name": "ssd-cache.read",
+     "start_us": 12.5, "end_us": 45.2, "dur_us": 32.7,
+     "attrs": {"lba": 0, "nbytes": 131072}}
+
+The hot path is zero-cost when tracing is off: components hold the
+shared :data:`NULL_TRACER` (or a plain ``None`` device hook), whose
+``span``/``record`` are constant no-ops that allocate nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One finished span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_us: float
+    end_us: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def dur_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "dur_us": self.dur_us,
+            "attrs": self.attrs,
+        }
+
+
+class _SpanCtx:
+    """An open span; a context manager that finishes it on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "start_us")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to an in-flight span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanCtx":
+        t = self._tracer
+        self.span_id = t._next_id
+        t._next_id += 1
+        self.parent_id = t._stack[-1] if t._stack else None
+        t._stack.append(self.span_id)
+        self.start_us = t.clock.now_us
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._tracer
+        t._stack.pop()
+        t._append(Span(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start_us=self.start_us,
+            end_us=t.clock.now_us,
+            attrs=self.attrs,
+        ))
+        return False
+
+
+class Tracer:
+    """Collects nested spans stamped with a virtual clock.
+
+    ``max_spans`` bounds memory on long runs: past the cap new spans are
+    counted in :attr:`dropped` instead of stored (open-span nesting keeps
+    working, so parent ids stay correct for what is kept).
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None, max_spans: int = 1_000_000) -> None:
+        self.clock = clock
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs) -> _SpanCtx:
+        """Open a nested span: ``with tracer.span("query", qid=7) as sp:``."""
+        return _SpanCtx(self, name, attrs)
+
+    def record(self, name: str, start_us: float, end_us: float, **attrs) -> None:
+        """Append a leaf span measured externally (e.g. a device access)."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._append(Span(
+            span_id=span_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            start_us=start_us,
+            end_us=end_us,
+            attrs=attrs,
+        ))
+
+    def _append(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    # -- export --------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self.spans]
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per span; returns the span count."""
+        with open(path, "w") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.to_dict()) + "\n")
+        return len(self.spans)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant no-op."""
+
+    enabled = False
+
+    class _NullSpan:
+        __slots__ = ()
+
+        def set(self, **attrs) -> None:
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            return False
+
+    _SPAN = _NullSpan()
+    spans: tuple = ()
+    dropped = 0
+
+    def span(self, name: str, **attrs):
+        return self._SPAN
+
+    def record(self, name: str, start_us: float, end_us: float, **attrs) -> None:
+        pass
+
+
+#: Shared do-nothing tracer; components default to this so tracing costs
+#: one attribute access when disabled.
+NULL_TRACER = NullTracer()

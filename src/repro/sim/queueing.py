@@ -6,6 +6,12 @@ process*: queries queue while the server is busy, and response time =
 wait + service.  This module simulates a single FIFO server fed by
 Poisson arrivals over a measured service-time sample — the standard way
 to turn service-time distributions into latency-vs-load curves.
+
+Response-time percentiles come from a :class:`repro.obs.instruments.
+Histogram` (2%-wide log buckets), the same instrument the telemetry
+layer uses everywhere else, so open-loop tails are directly comparable
+with per-stage telemetry and extend to p90/p999 without re-sorting the
+sample.
 """
 
 from __future__ import annotations
@@ -14,9 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.instruments import Histogram
 from repro.sim.rng import make_rng
 
 __all__ = ["QueueResult", "simulate_fifo_queue"]
+
+#: Bucket layout for response-time histograms: 2% relative resolution
+#: from 1 us up — percentile error stays within one bucket width.
+_HIST_LO_US = 1.0
+_HIST_GROWTH = 1.02
 
 
 @dataclass(frozen=True)
@@ -27,8 +39,10 @@ class QueueResult:
     completed: int
     mean_response_us: float
     p50_us: float
+    p90_us: float
     p95_us: float
     p99_us: float
+    p999_us: float
     mean_wait_us: float
     utilization: float
     #: True when the queue kept growing to the end (offered > capacity)
@@ -76,13 +90,19 @@ def simulate_fifo_queue(
     utilization = float(min(1.0, busy / horizon))
     saturated = utilization > saturation_utilization
 
+    hist = Histogram(lo=_HIST_LO_US, growth=_HIST_GROWTH)
+    hist.record_many(response.tolist())
+    p50, p90, p95, p99, p999 = hist.percentiles((50.0, 90.0, 95.0, 99.0, 99.9))
+
     return QueueResult(
         offered_qps=offered_qps,
         completed=n,
         mean_response_us=float(response.mean()),
-        p50_us=float(np.percentile(response, 50)),
-        p95_us=float(np.percentile(response, 95)),
-        p99_us=float(np.percentile(response, 99)),
+        p50_us=p50,
+        p90_us=p90,
+        p95_us=p95,
+        p99_us=p99,
+        p999_us=p999,
         mean_wait_us=float(wait.mean()),
         utilization=utilization,
         saturated=saturated,

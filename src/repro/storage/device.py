@@ -58,6 +58,8 @@ class DramModel:
         self.clock = clock or VirtualClock()
         self.name = name
         self.counters = CounterSet()
+        #: Optional span tracer (repro.obs); None keeps the hot path bare.
+        self.tracer = None
 
     @property
     def capacity_bytes(self) -> int:
@@ -74,6 +76,10 @@ class DramModel:
         self.counters.add("access_time_us", latency)
         self.clock.advance(latency)
         self.clock.charge(self.name, latency)
+        if self.tracer is not None:
+            now = self.clock.now_us
+            self.tracer.record(f"{self.name}.read", now - latency, now,
+                               nbytes=nbytes)
         return latency
 
     def write(self, lba: int, nbytes: int) -> float:
@@ -82,6 +88,10 @@ class DramModel:
         self.counters.add("access_time_us", latency)
         self.clock.advance(latency)
         self.clock.charge(self.name, latency)
+        if self.tracer is not None:
+            now = self.clock.now_us
+            self.tracer.record(f"{self.name}.write", now - latency, now,
+                               nbytes=nbytes)
         return latency
 
     def trim(self, lba: int, nbytes: int) -> float:
@@ -95,6 +105,7 @@ class NullDevice:
         self.name = name
         self._capacity = capacity_bytes
         self.counters = CounterSet()
+        self.tracer = None
 
     @property
     def capacity_bytes(self) -> int:

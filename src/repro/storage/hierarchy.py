@@ -74,6 +74,20 @@ class StorageHierarchy:
         """2 when the SSD cache tier is present, else 1 (paper's 2LC/1LC)."""
         return 2 if self.ssd is not None else 1
 
+    def attach_tracer(self, tracer) -> None:
+        """Hook every device's accesses into a span tracer (repro.obs).
+
+        Pass ``None`` to detach.  Device reads/writes then land as leaf
+        spans nested under whatever span the caller holds open.  A
+        disabled tracer normalizes to None so device hot paths stay bare.
+        """
+        if tracer is not None and not getattr(tracer, "enabled", True):
+            tracer = None
+        self.memory.tracer = tracer
+        if self.ssd is not None:
+            self.ssd.tracer = tracer
+        self.index_store.tracer = tracer
+
     def describe(self) -> str:
         """Short configuration label in the paper's legend style."""
         cache = f"{self.levels}LC"

@@ -26,17 +26,28 @@ def collect_service_times(
     warmup_queries: int = 0,
     static_analyze_queries: int | None = None,
     seed: int = 1234,
+    telemetry=None,
 ) -> np.ndarray:
-    """Per-query service times (us) from a warm closed-loop replay."""
+    """Per-query service times (us) from a warm closed-loop replay.
+
+    With a :class:`~repro.obs.Telemetry` attached, the replay records
+    per-stage latency histograms plus a ``service_time_us`` histogram of
+    the measured (post-warmup) sample, so the open-loop driver's inputs
+    are inspectable through the same registry as everything else.
+    """
     hierarchy = build_hierarchy_for(cache_config, index)
-    manager = CacheManager(cache_config, hierarchy, index)
+    manager = CacheManager(cache_config, hierarchy, index, telemetry=telemetry)
     if cache_config.policy is Policy.CBSLRU and cache_config.uses_ssd:
         manager.warmup_static(log, analyze_queries=static_analyze_queries)
+    service_hist = (telemetry.registry.histogram("service_time_us")
+                    if telemetry is not None else None)
     times: list[float] = []
     for i, query in enumerate(log):
         outcome = manager.process_query(query)
         if i >= warmup_queries:
             times.append(outcome.response_us)
+            if service_hist is not None:
+                service_hist.record(outcome.response_us)
     if not times:
         raise ValueError("no measured queries (warmup consumed the log)")
     return np.array(times, dtype=np.float64)

@@ -90,11 +90,13 @@ def _build_manager(
     index_on: str,
     seed: int,
     hierarchy: StorageHierarchy | None = None,
+    telemetry=None,
 ) -> CacheManager:
     if hierarchy is None:
         hierarchy = build_hierarchy_for(cache_config, index, index_on=index_on)
     processor = QueryProcessor(index, top_k=cache_config.top_k, seed=seed)
-    return CacheManager(cache_config, hierarchy, index, processor)
+    return CacheManager(cache_config, hierarchy, index, processor,
+                        telemetry=telemetry)
 
 
 def run_cached(
@@ -108,6 +110,7 @@ def run_cached(
     idle_gc_us: float = 0.0,
     seed: int = 1234,
     label: str | None = None,
+    telemetry=None,
 ) -> RunResult:
     """Replay a query log through the two-level cache.
 
@@ -116,9 +119,12 @@ def run_cached(
     ages the SSD, as it would in reality).  For CBSLRU the static
     partition is provisioned first by analysing the log prefix.
     ``idle_gc_us`` grants the SSD that much background-GC budget of
-    host think time after every query.
+    host think time after every query.  ``telemetry`` attaches a
+    :class:`~repro.obs.Telemetry` bundle to the manager for spans and
+    per-stage latency histograms.
     """
-    mgr = _build_manager(index, cache_config, index_on, seed)
+    mgr = _build_manager(index, cache_config, index_on, seed,
+                         telemetry=telemetry)
     if cache_config.policy is Policy.CBSLRU and cache_config.uses_ssd:
         mgr.warmup_static(log, analyze_queries=static_analyze_queries)
     queries = log.head(max_queries) if max_queries is not None else list(log)

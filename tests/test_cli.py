@@ -76,3 +76,47 @@ def test_run_command_cbslru_warms_static(capsys):
                "--queries", "200", "--mem-mb", "2", "--ssd-mb", "8"])
     assert rc == 0
     capsys.readouterr()
+
+
+def test_run_command_telemetry_writes_valid_dir(tmp_path, capsys):
+    from repro.obs import validate_telemetry_dir
+
+    out_dir = tmp_path / "tel"
+    rc = main(["run", "--policy", "cbslru", "--docs", "100000",
+               "--queries", "200", "--mem-mb", "2", "--ssd-mb", "8",
+               "--telemetry", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "per-stage latency" in out
+    assert "wrote" in out
+    counts = validate_telemetry_dir(out_dir)
+    assert counts["spans"] > 0
+    assert counts["metrics"] > 0
+
+
+def test_report_command_reads_telemetry_dir(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    main(["run", "--policy", "lru", "--docs", "100000", "--queries", "150",
+          "--mem-mb", "2", "--ssd-mb", "8", "--telemetry", str(out_dir)])
+    capsys.readouterr()
+    rc = main(["report", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "per-stage latency" in out
+    assert "spans" in out
+
+
+def test_report_command_rejects_bad_dir(tmp_path):
+    with pytest.raises(ValueError):
+        main(["report", str(tmp_path / "nothing")])
+
+
+def test_compare_command_prints_stage_breakdown(capsys):
+    rc = main(["compare", "--docs", "100000", "--queries", "150",
+               "--mem-mb", "2", "--ssd-mb", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "per-stage latency by policy" in out
+    stage_section = out.split("per-stage latency by policy", 1)[1]
+    for stage in ("l1", "l2", "hdd"):
+        assert stage in stage_section

@@ -196,3 +196,49 @@ def test_cbslru_cluster_warmup(log):
     for q in log.head(30):
         broker.process_query(q)
     assert broker.total_ssd_erases() >= 0
+
+
+# -- cluster-wide observability ----------------------------------------------
+
+def test_broker_event_totals_equal_sum_of_shard_counts(log):
+    broker = Broker.build(BASE, num_shards=3, cache_config=cache_cfg())
+    for q in log.head(150):
+        broker.process_query(q)
+    total = broker.cache_event_totals()
+    keys = set(total.counts)
+    for shard in broker.shards:
+        keys |= set(shard.cache_events.counts)
+    assert keys, "no cache events observed"
+    for key in keys:
+        assert total.counts.get(key, 0) == sum(
+            s.cache_events.counts.get(key, 0) for s in broker.shards
+        )
+
+
+def test_broker_aggregated_registry_sums_shard_registries(log):
+    broker = Broker.build(BASE, num_shards=2, cache_config=cache_cfg(),
+                          telemetry=True)
+    for q in log.head(120):
+        broker.process_query(q)
+    merged = broker.aggregated_registry()
+    queries = [inst for name, tags, inst in merged.items()
+               if name == "queries_total"]
+    assert sum(c.value for c in queries) == sum(
+        s.stats.queries for s in broker.shards
+    )
+    per_shard = sum(
+        inst.count
+        for shard in broker.shards
+        for name, tags, inst in shard.telemetry.registry.items()
+        if name == "query_latency_us"
+    )
+    merged_hist = sum(inst.count for name, tags, inst in merged.items()
+                      if name == "query_latency_us")
+    assert merged_hist == per_shard > 0
+
+
+def test_broker_without_telemetry_aggregates_empty_registry(log):
+    broker = Broker.build(BASE, num_shards=2, cache_config=cache_cfg())
+    for q in log.head(20):
+        broker.process_query(q)
+    assert len(broker.aggregated_registry()) == 0

@@ -55,6 +55,43 @@ def test_partial_subscription_only_receives_requested_hooks():
     assert len(flushes) == 1 and flushes[0].kind == "list"
 
 
+def test_failing_subscriber_does_not_starve_later_subscribers():
+    """Dispatch contract: every hook runs, then the first error surfaces."""
+    events = CacheEvents()
+    calls = []
+
+    def boom(event):
+        calls.append("boom")
+        raise RuntimeError("observer bug")
+
+    events.subscribe(on_admit=boom)
+    events.subscribe(on_admit=lambda e: calls.append("late"))
+    with pytest.raises(RuntimeError, match="observer bug"):
+        events.admit(AdmitEvent(kind="result", key=(1,), level="l1"))
+    assert calls == ["boom", "late"]
+
+
+def test_first_of_several_exceptions_is_reraised():
+    events = CacheEvents()
+    events.subscribe(on_flush=lambda e: (_ for _ in ()).throw(ValueError("first")))
+    events.subscribe(on_flush=lambda e: (_ for _ in ()).throw(KeyError("second")))
+    with pytest.raises(ValueError, match="first"):
+        events.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+
+
+def test_event_counter_merge_sums_key_wise():
+    a_bus, b_bus = CacheEvents(), CacheEvents()
+    a, b = EventCounter(a_bus), EventCounter(b_bus)
+    a_bus.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+    b_bus.flush(FlushEvent(kind="result", lba=0, nbytes=1))
+    b_bus.flush(FlushEvent(kind="list", lba=0, nbytes=1))  # key a never saw
+    total = EventCounter()  # detached aggregator, no bus
+    assert total.merge(a).merge(b) is total
+    assert total.get("flush", "result") == 2
+    assert total.get("flush", "list") == 1
+    assert a.get("flush", "result") == 1  # merge does not mutate sources
+
+
 def test_event_counter_counts_by_hook_and_kind():
     events = CacheEvents()
     counter = EventCounter(events)

@@ -59,8 +59,35 @@ def test_percentiles_ordered():
     rng = np.random.default_rng(6)
     service = rng.exponential(500.0, size=3000)
     r = simulate_fifo_queue(service, 800.0, seed=7)
-    assert r.p50_us <= r.p95_us <= r.p99_us
+    assert r.p50_us <= r.p90_us <= r.p95_us <= r.p99_us <= r.p999_us
     assert r.mean_response_us >= r.mean_wait_us
+
+
+def test_percentiles_match_numpy_within_bucket_tolerance():
+    """The histogram-backed percentiles track np.percentile on the same
+    response sample (the pre-histogram implementation) within the
+    histogram's 2% relative bucket width."""
+    from repro.sim.queueing import _HIST_GROWTH, _HIST_LO_US
+    from repro.sim.rng import make_rng
+
+    service = np.random.default_rng(21).exponential(800.0, size=10_000)
+    r = simulate_fifo_queue(service, 600.0, seed=22)
+    # Reconstruct the exact response sample the simulation saw.
+    n = len(service)
+    arrivals = np.cumsum(make_rng(22).exponential(1e6 / 600.0, size=n))
+    start = np.empty(n)
+    finish = np.empty(n)
+    prev_finish = 0.0
+    for i in range(n):
+        start[i] = max(arrivals[i], prev_finish)
+        finish[i] = start[i] + service[i]
+        prev_finish = finish[i]
+    response = finish - arrivals
+    for got, q in ((r.p50_us, 50), (r.p90_us, 90), (r.p95_us, 95),
+                   (r.p99_us, 99), (r.p999_us, 99.9)):
+        exact = float(np.percentile(response, q))
+        tol = max(_HIST_LO_US, exact * (_HIST_GROWTH - 1.0)) + 1e-6
+        assert abs(got - exact) <= tol
 
 
 def test_deterministic_given_seed():
