@@ -7,7 +7,10 @@ cache, replays a query stream, and shows every exposition surface:
 * exact percentiles from the log-bucketed histograms,
 * cache life-cycle counters bridged from the CacheEvents bus,
 * the span tree of a single query,
-* the on-disk telemetry dir (spans.jsonl / metrics.json / metrics.prom).
+* the decision audit trail and `repro explain`-style verdicts,
+* the flash-device telemetry bridge (erases, WA, wear projections),
+* the on-disk telemetry dir (spans.jsonl / metrics.json / metrics.prom
+  / audit.jsonl).
 
 Run:  python examples/telemetry_tour.py
 """
@@ -23,7 +26,13 @@ from repro import (
     build_hierarchy_for,
     generate_query_log,
 )
-from repro.obs import Telemetry, format_stage_breakdown, write_telemetry_dir
+from repro.obs import (
+    Telemetry,
+    explain_subject,
+    format_explanation,
+    format_stage_breakdown,
+    write_telemetry_dir,
+)
 
 MB = 1024 * 1024
 
@@ -77,11 +86,30 @@ def main() -> None:
         indent = "  " if s.parent_id else ""
         print(f"  {indent}{s.name:<16s} {s.dur_us:8.1f} us  {s.attrs}")
 
-    # 5. Export: what `repro run --telemetry DIR` writes.
+    # 5. The decision audit trail: why is a given term (not) on the SSD?
+    # Every admission (Formula 1/2, EV vs TEV), victim walk (CBLRU
+    # replace-first region), and GC choice left a structured record.
+    selects = [r for r in tel.audit.records if r.type == "list.select"]
+    print(f"\naudit log: {len(tel.audit)} records "
+          f"({len(selects)} Formula-1/2 admission decisions)")
+    term = selects[-1].key
+    print(format_explanation(
+        explain_subject(tel.audit.records, "list", term)))
+
+    # 6. Flash-device telemetry: FTL counters + wear projections bridged
+    # into the registry (what `repro run --telemetry` tabulates).
+    tel.collect()  # sample the flash bridges
+    print("\nflash telemetry:")
+    for name, tags, inst in tel.registry.items():
+        if name.startswith("flash_"):
+            print(f"  {name}{{device={tags['device']}}} = {inst.value:g}")
+
+    # 7. Export: what `repro run --telemetry DIR` writes.
     with tempfile.TemporaryDirectory() as out:
         written = write_telemetry_dir(tel, out)
-        print(f"\nwrote {written['spans']} spans and {written['metrics']} "
-              f"metrics (spans.jsonl, metrics.json, metrics.prom)")
+        print(f"\nwrote {written['spans']} spans, {written['metrics']} "
+              f"metrics and {written['audit_records']} audit records "
+              f"(spans.jsonl, metrics.json, metrics.prom, audit.jsonl)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,44 @@
+"""repro.bench — the continuous benchmark harness (``repro bench``).
+
+Deterministic end-to-end runs over the simulated stack, summarised into
+a ``BENCH_<n>.json`` document: per-stage latency percentiles, hit
+ratios, write amplification, total erases and wall-clock time per
+scenario.  Because the simulation is fully deterministic, every metric
+except wall clock reproduces bit-for-bit on unchanged code — which is
+what makes :func:`~repro.bench.regression.compare_benches` a usable
+regression gate in CI rather than a noise detector.
+
+Typical flow::
+
+    repro bench --suite smoke --out BENCH_0004.json
+    repro bench --suite smoke --against BENCH_0003.json   # exits 1 on regression
+"""
+
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    load_bench,
+    next_bench_path,
+    run_suite,
+    write_bench,
+)
+from repro.bench.regression import (
+    DEFAULT_THRESHOLDS,
+    Regression,
+    compare_benches,
+    format_regressions,
+)
+from repro.bench.scenarios import SUITES, BenchScenario
+
+__all__ = [
+    "BenchScenario",
+    "SUITES",
+    "BENCH_SCHEMA",
+    "run_suite",
+    "write_bench",
+    "load_bench",
+    "next_bench_path",
+    "Regression",
+    "DEFAULT_THRESHOLDS",
+    "compare_benches",
+    "format_regressions",
+]

@@ -1,0 +1,139 @@
+"""The benchmark harness: run a suite, emit a ``BENCH_<n>.json`` document.
+
+Each scenario replays a deterministic query log through the full cached
+stack with a registry-only :class:`~repro.obs.Telemetry` attached (no
+spans, no audit — the cheap configuration), then folds the run result,
+the stage-latency histograms and the flash-device bridge into one flat
+metrics dict.  Every metric except ``wall_clock_s`` is a pure function
+of the code and the seed, so unchanged code reproduces the document
+exactly.
+
+Document schema (``repro.bench/v1``)::
+
+    {"schema": "repro.bench/v1", "suite": "smoke",
+     "scenarios": {"<name>": {"config": {...}, "metrics": {...}}}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+
+from repro.bench.scenarios import SUITES, BenchScenario
+
+__all__ = ["BENCH_SCHEMA", "run_suite", "run_scenario", "write_bench",
+           "load_bench", "next_bench_path"]
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+MB = 1024 * 1024
+
+#: Stage-latency percentiles the document keeps per stage.
+_STAGE_QS = (50.0, 99.0)
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def run_scenario(scenario: BenchScenario) -> dict:
+    """Run one scenario; returns its ``{"config", "metrics"}`` entry."""
+    from repro.core.config import CacheConfig, Policy
+    from repro.obs import Telemetry
+    from repro.workloads.retrieval import run_cached
+    from repro.workloads.sweep import make_log_for, make_scaled_index
+
+    index = make_scaled_index(scenario.docs)
+    log = make_log_for(scenario.queries, seed=scenario.seed)
+    cfg = CacheConfig.paper_split(
+        scenario.mem_mb * MB, scenario.ssd_mb * MB,
+        policy=Policy(scenario.policy),
+        ttl_us=scenario.ttl_ms * 1000.0,
+    )
+    tel = Telemetry(trace=False, audit=False)
+    t0 = time.perf_counter()
+    result = run_cached(
+        index, log, cfg,
+        static_analyze_queries=scenario.queries // 2,
+        seed=scenario.seed,
+        telemetry=tel,
+    )
+    wall = time.perf_counter() - t0
+    tel.collect()
+
+    stats = result.stats
+    metrics: dict = {
+        "mean_response_ms": stats.mean_response_us / 1000.0,
+        "throughput_qps": stats.throughput_qps,
+        "result_hit_ratio": stats.result_hit_ratio,
+        "list_hit_ratio": stats.list_hit_ratio,
+        "combined_hit_ratio": stats.combined_hit_ratio,
+        "ssd_erases": result.ssd_erases,
+        "wall_clock_s": wall,
+    }
+    wa = tel.registry.get("flash_write_amplification", device="ssd-cache")
+    if wa is not None:
+        metrics["write_amplification"] = wa.value
+    gc_writes = tel.registry.get("flash_gc_page_writes_total",
+                                 device="ssd-cache")
+    if gc_writes is not None:
+        metrics["gc_page_writes"] = gc_writes.value
+    for name, tags, inst in tel.registry.items():
+        if name != "stage_latency_us" or inst.kind != "histogram":
+            continue
+        if not inst.count:
+            continue
+        stage = tags["stage"]
+        for q in _STAGE_QS:
+            metrics[f"stage_{stage}_p{q:g}_us"] = inst.percentile(q)
+    return {"config": scenario.to_dict(), "metrics": metrics}
+
+
+def run_suite(suite: str = "smoke", progress=None) -> dict:
+    """Run every scenario of ``suite``; returns the BENCH document."""
+    try:
+        scenarios = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r}; choose from {sorted(SUITES)}"
+        ) from None
+    doc: dict = {"schema": BENCH_SCHEMA, "suite": suite, "scenarios": {}}
+    for scenario in scenarios:
+        if progress is not None:
+            progress(scenario)
+        doc["scenarios"][scenario.name] = run_scenario(scenario)
+    return doc
+
+
+def write_bench(doc: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path) -> dict:
+    """Load a BENCH document, validating the schema."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA} document")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise ValueError(f"{path}: no scenarios recorded")
+    for name, entry in scenarios.items():
+        for fld in ("config", "metrics"):
+            if fld not in entry:
+                raise ValueError(f"{path}: scenario {name!r} missing {fld!r}")
+        if not entry["metrics"]:
+            raise ValueError(f"{path}: scenario {name!r} has no metrics")
+    return doc
+
+
+def next_bench_path(directory=".") -> str:
+    """The next free ``BENCH_<n>.json`` path (max existing + 1)."""
+    highest = -1
+    for fname in os.listdir(directory):
+        m = _BENCH_RE.match(fname)
+        if m:
+            highest = max(highest, int(m.group(1)))
+    return os.path.join(directory, f"BENCH_{highest + 1:04d}.json")

@@ -1,0 +1,132 @@
+"""The regression gate: compare two BENCH documents metric by metric.
+
+Each gated metric has a direction (is higher or lower worse?) and a
+relative tolerance.  The simulation is deterministic, so on unchanged
+code every gated metric matches exactly; the tolerances exist to absorb
+*intentional* small shifts (a reordered write here, one extra GC pass
+there) without ungated drift.  ``wall_clock_s`` is recorded in the
+document but never gated — it measures the machine, not the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Threshold", "Regression", "DEFAULT_THRESHOLDS",
+           "compare_benches", "format_regressions"]
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """Gate for one metric: which direction is bad, and by how much."""
+
+    #: "up" = an increase is a regression; "down" = a decrease is.
+    bad_direction: str
+    #: relative tolerance (0.05 = 5% movement in the bad direction is ok)
+    rel_tol: float
+    #: absolute slack for near-zero baselines (|delta| below this passes)
+    abs_tol: float = 0.0
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that moved past its threshold."""
+
+    scenario: str
+    metric: str
+    baseline: float
+    current: float
+    threshold: Threshold
+
+    @property
+    def rel_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 0.0
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+#: metric name (or stage-percentile prefix) -> gate.
+DEFAULT_THRESHOLDS: dict[str, Threshold] = {
+    "mean_response_ms": Threshold("up", 0.05),
+    "throughput_qps": Threshold("down", 0.05),
+    "result_hit_ratio": Threshold("down", 0.02, abs_tol=0.005),
+    "list_hit_ratio": Threshold("down", 0.02, abs_tol=0.005),
+    "combined_hit_ratio": Threshold("down", 0.02, abs_tol=0.005),
+    "ssd_erases": Threshold("up", 0.10, abs_tol=2.0),
+    "write_amplification": Threshold("up", 0.10, abs_tol=0.02),
+    "gc_page_writes": Threshold("up", 0.15, abs_tol=16.0),
+    # Stage percentiles: generous, they gate order-of-magnitude slips.
+    "stage_": Threshold("up", 0.20, abs_tol=1.0),
+}
+
+#: Metrics never gated (recorded for humans, not for the gate).
+UNGATED = {"wall_clock_s"}
+
+
+def _threshold_for(metric: str,
+                   thresholds: dict[str, Threshold]) -> Threshold | None:
+    if metric in UNGATED:
+        return None
+    t = thresholds.get(metric)
+    if t is not None:
+        return t
+    for prefix, t in thresholds.items():
+        if prefix.endswith("_") and metric.startswith(prefix):
+            return t
+    return None
+
+
+def compare_benches(
+    current: dict,
+    baseline: dict,
+    thresholds: dict[str, Threshold] | None = None,
+) -> list[Regression]:
+    """Every gated metric of ``current`` that regressed vs ``baseline``.
+
+    Scenarios present in only one document are skipped (suites may grow).
+    Within a shared scenario, a gated metric that the baseline recorded
+    as nonzero but the current run no longer reports is treated as a
+    regression to 0.
+    """
+    thresholds = thresholds if thresholds is not None else DEFAULT_THRESHOLDS
+    out: list[Regression] = []
+    for name, base_entry in baseline.get("scenarios", {}).items():
+        cur_entry = current.get("scenarios", {}).get(name)
+        if cur_entry is None:
+            continue
+        base_metrics = base_entry["metrics"]
+        cur_metrics = cur_entry["metrics"]
+        for metric, base_val in base_metrics.items():
+            t = _threshold_for(metric, thresholds)
+            if t is None:
+                continue
+            cur_val = cur_metrics.get(metric)
+            if cur_val is None:
+                if base_val:  # a formerly-nonzero gated metric vanished
+                    out.append(Regression(name, metric, base_val, 0.0, t))
+                continue
+            delta = cur_val - base_val
+            if t.bad_direction == "down":
+                delta = -delta
+            if delta <= t.abs_tol:
+                continue
+            if base_val != 0 and delta / abs(base_val) <= t.rel_tol:
+                continue
+            out.append(Regression(name, metric, base_val, cur_val, t))
+    return out
+
+
+def format_regressions(regressions: list[Regression]) -> str:
+    """Human-readable gate report (one line per regression)."""
+    if not regressions:
+        return "no regressions"
+    lines = [f"{len(regressions)} regression(s) past thresholds:"]
+    for r in regressions:
+        direction = "rose" if r.threshold.bad_direction == "up" else "fell"
+        lines.append(
+            f"  {r.scenario}: {r.metric} {direction} "
+            f"{r.baseline:.4g} -> {r.current:.4g} "
+            f"({r.rel_change:+.1%}, tolerance "
+            f"{r.threshold.rel_tol:.0%} {r.threshold.bad_direction})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Benchmark scenario and suite definitions.
+
+A scenario is one deterministic cached-retrieval run (index scale, query
+log, cache sizing, policy); a suite is the named set the harness runs.
+``smoke`` is sized for CI (tens of seconds); ``full`` covers the three
+policies at paper scale for local before/after comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["BenchScenario", "SUITES"]
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One deterministic benchmark run."""
+
+    name: str
+    policy: str  # "lru" | "cblru" | "cbslru"
+    docs: int
+    queries: int
+    mem_mb: int
+    ssd_mb: int
+    seed: int = 7
+    ttl_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+#: CI-sized: every policy touches the SSD enough to exercise admission,
+#: replacement and GC, but the whole suite stays fast.
+SMOKE = (
+    BenchScenario("lru-smoke", "lru", docs=200_000, queries=1_500,
+                  mem_mb=4, ssd_mb=16),
+    BenchScenario("cblru-smoke", "cblru", docs=200_000, queries=1_500,
+                  mem_mb=4, ssd_mb=16),
+    BenchScenario("cbslru-smoke", "cbslru", docs=200_000, queries=1_500,
+                  mem_mb=4, ssd_mb=16),
+)
+
+#: Paper-scale: the Fig. 14/17 configuration, one run per policy.
+FULL = (
+    BenchScenario("lru-full", "lru", docs=1_000_000, queries=4_000,
+                  mem_mb=16, ssd_mb=64),
+    BenchScenario("cblru-full", "cblru", docs=1_000_000, queries=4_000,
+                  mem_mb=16, ssd_mb=64),
+    BenchScenario("cbslru-full", "cbslru", docs=1_000_000, queries=4_000,
+                  mem_mb=16, ssd_mb=64),
+    BenchScenario("cbslru-dynamic", "cbslru", docs=1_000_000, queries=4_000,
+                  mem_mb=16, ssd_mb=64, ttl_ms=50.0),
+)
+
+SUITES: dict[str, tuple[BenchScenario, ...]] = {
+    "smoke": SMOKE,
+    "full": FULL,
+}

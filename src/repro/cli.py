@@ -6,9 +6,12 @@ The subcommands cover the common standalone uses of the library::
     repro trace    --requests 50000 --out t.spc   # synthetic trace + analysis
     repro analyze  t.spc --format spc             # analyze an existing trace
     repro run      --policy cbslru --queries 5000 # full cached retrieval run
-    repro run      ... --telemetry out/           # + spans & metrics dump
+    repro run      ... --telemetry out/           # + spans, metrics, audit dump
     repro report   out/                           # re-read a telemetry dir
+    repro explain  out/ --term 123                # why is term 123 (not) on SSD?
     repro compare  --queries 5000                 # all policies side by side
+    repro bench    --suite smoke                  # deterministic benchmark run
+    repro bench    --suite smoke --against BENCH_0003.json  # regression gate
 
 Install exposes ``repro`` as a console entry point; ``python -m
 repro.cli`` works without installation.
@@ -74,6 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dir", type=str,
                    help="directory written by `repro run --telemetry`")
 
+    p = sub.add_parser("explain",
+                       help="reconstruct one subject's decision history from "
+                            "an audit trail")
+    p.add_argument("path", type=str,
+                   help="telemetry dir (audit.jsonl inside) or an audit.jsonl "
+                        "file")
+    g = p.add_mutually_exclusive_group(required=True)
+    g.add_argument("--term", type=int, default=None,
+                   help="explain an inverted list by term id")
+    g.add_argument("--rb", type=int, default=None,
+                   help="explain an SSD result block by RB id")
+    g.add_argument("--gc-block", type=int, default=None,
+                   help="explain a flash block's GC victim selections")
+    p.add_argument("--at-us", type=float, default=None,
+                   help="reconstruct state as of this virtual-clock time")
+
     p = sub.add_parser("compare",
                        help="run all three policies and emit a markdown report")
     p.add_argument("--docs", type=int, default=1_000_000)
@@ -81,8 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mem-mb", type=int, default=16)
     p.add_argument("--ssd-mb", type=int, default=64)
     p.add_argument("--out", type=str, default=None,
-                   help="write the markdown report to a file")
+                   help="write the report to a file")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document instead of "
+                        "markdown")
     p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("bench",
+                       help="run a deterministic benchmark suite and emit "
+                            "BENCH_<n>.json")
+    p.add_argument("--suite", choices=("smoke", "full"), default="smoke")
+    p.add_argument("--out", type=str, default=None,
+                   help="output path (default: next free BENCH_<n>.json)")
+    p.add_argument("--against", type=str, default=None, metavar="PREV.json",
+                   help="gate against a previous BENCH document; exits "
+                        "non-zero on regression")
     return parser
 
 
@@ -157,9 +189,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     telemetry = None
     if args.telemetry:
+        import os
+
         from repro.obs import Telemetry
 
         telemetry = Telemetry()
+        # Stream spans to disk as they finish instead of accumulating
+        # them in memory — an arbitrarily long run holds zero spans.
+        os.makedirs(args.telemetry, exist_ok=True)
+        telemetry.tracer.open_stream(os.path.join(args.telemetry,
+                                                  "spans.jsonl"))
 
     index = make_scaled_index(args.docs)
     log = make_log_for(args.queries, seed=args.seed)
@@ -204,11 +243,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_stage_breakdown(telemetry.registry,
                                      title="per-stage latency"))
         written = write_telemetry_dir(telemetry, args.telemetry)
-        print(f"\nwrote {written['spans']} spans and {written['metrics']} "
-              f"metrics to {args.telemetry}/")
+        flash_rows = _flash_rows(telemetry.registry)
+        if flash_rows:
+            print()
+            print(format_table(
+                ["device", "erases", "WA", "free blocks", "wear skew",
+                 "life used"],
+                flash_rows, title="flash devices"))
+        print(f"\nwrote {written['spans']} spans, {written['metrics']} "
+              f"metrics and {written['audit_records']} audit records "
+              f"to {args.telemetry}/")
         if written["dropped_spans"]:
             print(f"({written['dropped_spans']} spans dropped past the cap)")
     return 0
+
+
+def _flash_rows(registry) -> list[list]:
+    """One table row per flash device seen in the registry."""
+    devices = sorted({
+        tags["device"] for name, tags, _ in registry.items()
+        if name == "flash_erases_total"
+    })
+    rows = []
+    for dev in devices:
+        def val(metric: str, default=0.0):
+            inst = registry.get(metric, device=dev)
+            return inst.value if inst is not None else default
+
+        rows.append([
+            dev,
+            int(val("flash_erases_total")),
+            f"{val('flash_write_amplification'):.2f}",
+            int(val("flash_free_blocks")),
+            f"{val('flash_wear_skew'):.2f}",
+            f"{val('flash_lifetime_consumed'):.2%}",
+        ])
+    return rows
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -242,23 +312,131 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for policy in (Policy.LRU, Policy.CBLRU, Policy.CBSLRU):
         cfg = CacheConfig.paper_split(args.mem_mb * MB, args.ssd_mb * MB,
                                       policy=policy)
-        tel = Telemetry(trace=False)
+        tel = Telemetry(trace=False, audit=False)
         results[policy.value] = run_cached(
             index, log, cfg, static_analyze_queries=args.queries // 2,
             telemetry=tel,
         )
+        tel.collect()  # sample the flash bridges before reading the registry
         registries[policy.value] = tel.registry
-    report = policy_comparison_report(
-        results, title=f"Policy comparison on {args.docs:,} docs"
-    )
-    report += "\n\n" + format_stage_comparison(
-        registries, title="per-stage latency by policy"
-    )
+
+    if args.json:
+        import json
+
+        report = json.dumps(_compare_payload(results, registries), indent=1,
+                            sort_keys=True)
+    else:
+        report = policy_comparison_report(
+            results, title=f"Policy comparison on {args.docs:,} docs"
+        )
+        report += "\n\n" + format_stage_comparison(
+            registries, title="per-stage latency by policy"
+        )
+        flash_rows = [
+            [policy] + row[1:]
+            for policy, registry in registries.items()
+            for row in _flash_rows(registry)
+            if row[0] == "ssd-cache"
+        ]
+        if flash_rows:
+            report += "\n\n" + format_table(
+                ["policy", "erases", "WA", "free blocks", "wear skew",
+                 "life used"],
+                flash_rows, title="flash telemetry (ssd-cache)")
     print(report)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)
+            fh.write("\n")
         print(f"wrote report to {args.out}")
+    return 0
+
+
+def _compare_payload(results: dict, registries: dict) -> dict:
+    """The `repro compare --json` document (schema repro.compare/v1)."""
+    payload: dict = {"schema": "repro.compare/v1", "policies": {}}
+    for policy, result in results.items():
+        registry = registries[policy]
+        stats = result.stats
+        stages = {}
+        for name, tags, inst in registry.items():
+            if name == "stage_latency_us" and inst.kind == "histogram" \
+                    and inst.count:
+                stages[tags["stage"]] = {
+                    "p50_us": inst.percentile(50.0),
+                    "p99_us": inst.percentile(99.0),
+                    "mean_us": inst.mean,
+                    "count": inst.count,
+                }
+        flash = {}
+        for name, tags, inst in registry.items():
+            if name.startswith("flash_"):
+                flash.setdefault(tags["device"], {})[name] = inst.value
+        payload["policies"][policy] = {
+            "queries": result.queries,
+            "mean_response_ms": result.mean_response_ms,
+            "throughput_qps": result.throughput_qps,
+            "result_hit_ratio": stats.result_hit_ratio,
+            "list_hit_ratio": stats.list_hit_ratio,
+            "combined_hit_ratio": stats.combined_hit_ratio,
+            "ssd_erases": result.ssd_erases,
+            "stage_latency_us": stages,
+            "flash": flash,
+        }
+    return payload
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import explain_subject, format_explanation, load_audit_jsonl
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, "audit.jsonl")
+    if not os.path.exists(path):
+        raise SystemExit(f"no audit trail at {path} "
+                         "(run with --telemetry and auditing enabled)")
+    records = load_audit_jsonl(path)
+    if args.term is not None:
+        kind, key = "list", args.term
+    elif args.rb is not None:
+        kind, key = "rb", args.rb
+    else:
+        kind, key = "gc", args.gc_block
+    explanation = explain_subject(records, kind, key, at_us=args.at_us)
+    print(format_explanation(explanation))
+    return 0 if explanation["events"] else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_benches,
+        format_regressions,
+        load_bench,
+        next_bench_path,
+        run_suite,
+        write_bench,
+    )
+
+    doc = run_suite(args.suite,
+                    progress=lambda s: print(f"running {s.name} ..."))
+    out = args.out or next_bench_path()
+    write_bench(doc, out)
+    for name, entry in doc["scenarios"].items():
+        m = entry["metrics"]
+        print(f"  {name:<16s} {m['mean_response_ms']:8.2f} ms/q "
+              f"{m['throughput_qps']:8.1f} q/s "
+              f"hit {m['combined_hit_ratio']:6.1%} "
+              f"erases {m['ssd_erases']:5d} "
+              f"({m['wall_clock_s']:.1f} s wall)")
+    print(f"wrote {out}")
+    if args.against:
+        baseline = load_bench(args.against)
+        regressions = compare_benches(doc, baseline)
+        print(f"gate vs {args.against}: {format_regressions(regressions)}")
+        if regressions:
+            return 1
     return 0
 
 
@@ -270,7 +448,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "run": _cmd_run,
         "report": _cmd_report,
+        "explain": _cmd_explain,
         "compare": _cmd_compare,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

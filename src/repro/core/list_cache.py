@@ -22,6 +22,7 @@ from repro.core.lru import LruList
 from repro.core.selection import efficiency_value, ssd_cache_blocks
 from repro.core.ssd_region import BlockRegion, ByteRegion
 from repro.flash.constants import SECTOR_BYTES
+from repro.obs.audit import NULL_AUDIT
 from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:
@@ -49,6 +50,7 @@ class ListCache:
         stats: CacheStats,
         events: CacheEvents,
         tracer=NULL_TRACER,
+        audit=NULL_AUDIT,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -61,6 +63,7 @@ class ListCache:
         self.stats = stats
         self.events = events
         self.tracer = tracer
+        self.audit = audit
 
         # ---- L1 (memory) ----
         self.l1: LruList[int, CachedList] = LruList(config.replace_window)
@@ -286,6 +289,16 @@ class ListCache:
         decision = self.selection.select_list(
             si_bytes=victim.cached_bytes, pu=victim.formula1_pu, freq=victim.freq
         )
+        if self.audit.enabled:
+            # The Formula 1/2 admission verdict with its exact inputs: this
+            # is the record `repro explain` reconstructs EV-vs-TEV from.
+            self.audit.record(
+                "list.select", "list", victim.term_id,
+                si_bytes=victim.cached_bytes, pu=victim.formula1_pu,
+                freq=victim.freq, sc_blocks=decision.sc_blocks,
+                ev=decision.ev, tev=cfg.tev, admit=decision.admit,
+                branch="admit" if decision.admit else "tev-discard",
+            )
         if not decision.admit:
             self.events.evict(EvictEvent(kind="list", key=victim.term_id,
                                          level="l1", nbytes=victim.cached_bytes,

@@ -31,6 +31,7 @@ from repro.core.policies import create_policy
 from repro.core.result_cache import ResultCache
 from repro.core.stats import CacheStats, Situation, StatsRecorder
 from repro.engine.index import InvertedIndex
+from repro.obs.audit import NULL_AUDIT
 from repro.obs.tracer import NULL_TRACER
 from repro.engine.processor import QueryProcessor
 from repro.engine.query import Query
@@ -131,8 +132,16 @@ class CacheManager:
             telemetry.observe_cache_events(self.events)
             self._tracer = telemetry.tracer
             hierarchy.attach_tracer(self._tracer)
+            self._audit = getattr(telemetry, "audit", NULL_AUDIT)
+            hierarchy.attach_audit(self._audit)
+            observe_flash = getattr(telemetry, "observe_flash", None)
+            if observe_flash is not None:
+                observe_flash(self.ssd)
+                if hasattr(self.store, "ftl") and self.store is not self.ssd:
+                    observe_flash(self.store)
         else:
             self._tracer = NULL_TRACER
+            self._audit = NULL_AUDIT
 
         if config.uses_ssd and self.ssd is None:
             raise ValueError("cache config needs an SSD tier but the hierarchy has none")
@@ -143,6 +152,9 @@ class CacheManager:
             )
 
         self.policy = create_policy(config.policy)
+        # Policies are instantiated fresh per manager (create_policy), so
+        # handing this instance the manager's audit log is safe.
+        self.policy.audit = self._audit
         self.selection = self.policy.build_admission(config)
         self.result_cache = ResultCache(
             config=config,
@@ -153,6 +165,7 @@ class CacheManager:
             stats=self.stats,
             events=self.events,
             tracer=self._tracer,
+            audit=self._audit,
         )
         self.list_cache = ListCache(
             config=config,
@@ -166,6 +179,7 @@ class CacheManager:
             stats=self.stats,
             events=self.events,
             tracer=self._tracer,
+            audit=self._audit,
         )
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.core.selection import (
     efficiency_value,
     ssd_cache_blocks,
 )
+from repro.obs.audit import NULL_AUDIT
 
 if TYPE_CHECKING:
     from repro.core.config import CacheConfig
@@ -82,6 +83,10 @@ class BaseReplacementPolicy:
     tracks_replaceable = True
     trim_on_drop = True
     supports_static = False
+    #: Decision audit log (repro.obs.audit); the manager replaces this
+    #: per instance when telemetry is attached.  Disabled by default so
+    #: victim walks stay allocation-free.
+    audit = NULL_AUDIT
 
     def build_admission(self, config: CacheConfig) -> AdmissionPolicy:
         return SelectionPolicy(
@@ -94,6 +99,8 @@ class BaseReplacementPolicy:
         self, lists: LruList, protect: int | None, config: CacheConfig
     ) -> int | None:
         """Fig. 12: the minimum-EV entry inside the replace-first region."""
+        auditing = self.audit.enabled
+        candidates: list[tuple[int, float]] = [] if auditing else None
         best_key = None
         best_ev = float("inf")
         for key, entry in lists.replace_first_region():
@@ -106,25 +113,48 @@ class BaseReplacementPolicy:
                 ),
             )
             ev = efficiency_value(entry.freq, sc)
+            if auditing:
+                candidates.append((key, ev))
             if ev < best_ev:
                 best_ev = ev
                 best_key = key
+        branch = "rfr-min-ev"
         if best_key is None:
+            branch = "lru-fallback"
             for key, _ in lists.items_lru_order():
                 if key != protect:
-                    return key
+                    best_key = key
+                    break
+        if auditing and best_key is not None:
+            self.audit.record(
+                "list.l1-victim", "list", best_key,
+                branch=branch, protect=protect, candidates=candidates,
+                ev=best_ev if branch == "rfr-min-ev" else None,
+            )
         return best_key
 
     def pick_rb_victim(self, rb_lru: LruList) -> int:
         """Fig. 11: the maximum-IREN result block in the RFR."""
+        auditing = self.audit.enabled
+        candidates: list[tuple[int, int]] = [] if auditing else None
         victim_id = None
         best_iren = -1
         for rb_id, rb in rb_lru.replace_first_region():
+            if auditing:
+                candidates.append((rb_id, rb.iren))
             if rb.iren > best_iren:
                 best_iren = rb.iren
                 victim_id = rb_id
+        branch = "rfr-max-iren"
         if victim_id is None:
+            branch = "lru-fallback"
             victim_id, _ = rb_lru.peek_lru()
+        if auditing:
+            self.audit.record(
+                "rb.victim", "rb", victim_id,
+                branch=branch, candidates=candidates,
+                iren=best_iren if branch == "rfr-max-iren" else None,
+            )
         return victim_id
 
     def free_list_space(self, cache: ListCache, sc_needed: int) -> None:
@@ -137,6 +167,13 @@ class BaseReplacementPolicy:
         from repro.core.entries import EntryState
 
         region = cache.region
+        if self.audit.enabled:
+            # The staged search context; each victim it claims follows as
+            # an `l2-victim` record carrying its Fig. 13 stage.
+            self.audit.record(
+                "list.free-space", "list", None,
+                sc_needed=sc_needed, free_blocks=region.free_count,
+            )
         # Stage 1: replaceable entries in the RFR are free wins.
         for key, entry in cache.l2.replace_first_region():
             if region.free_count >= sc_needed:

@@ -32,5 +32,8 @@ class LruPolicy(BaseReplacementPolicy):
     ) -> int | None:
         for key, _ in lists.items_lru_order():
             if key != protect:
+                if self.audit.enabled:
+                    self.audit.record("list.l1-victim", "list", key,
+                                      branch="lru", protect=protect)
                 return key
         return None

@@ -21,6 +21,7 @@ from repro.core.lru import LruList
 from repro.core.placement import WriteBuffer
 from repro.core.ssd_region import BlockRegion, ByteRegion
 from repro.flash.constants import SECTOR_BYTES
+from repro.obs.audit import NULL_AUDIT
 from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:
@@ -44,6 +45,7 @@ class ResultCache:
         stats: CacheStats,
         events: CacheEvents,
         tracer=NULL_TRACER,
+        audit=NULL_AUDIT,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -53,6 +55,7 @@ class ResultCache:
         self.stats = stats
         self.events = events
         self.tracer = tracer
+        self.audit = audit
 
         # ---- L1 (memory) ----
         self.l1: LruList[tuple[int, ...], CachedResult] = LruList(config.replace_window)

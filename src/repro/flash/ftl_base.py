@@ -48,8 +48,20 @@ class FtlStats:
         return self.total_page_writes / self.host_page_writes
 
 
+#: Candidate scores kept per audited GC decision (the full candidate set
+#: can be thousands of blocks; the trail keeps the head plus the choice).
+_AUDIT_SCORE_CAP = 16
+
+
 class FTL(ABC):
     """Base class: owns the NAND array, free-block pool and GC plumbing."""
+
+    #: Optional decision audit log (repro.obs.audit), attached by the SSD
+    #: front-end / storage hierarchy.  None keeps the GC path free of any
+    #: observability dependency — same contract as the device tracer.
+    audit = None
+    #: Device name stamped into audit records (set alongside ``audit``).
+    audit_device = ""
 
     def __init__(
         self,
@@ -102,6 +114,30 @@ class FTL(ABC):
 
     def _release_block(self, block: int) -> None:
         self._free_blocks.append(block)
+
+    def _choose_victim(self, candidates: np.ndarray, origin: str) -> int:
+        """Delegate victim selection to the policy, auditing the choice.
+
+        ``origin`` distinguishes foreground GC (inline with a host write)
+        from background reclamation.
+        """
+        victim = self.victim_policy.choose(self.nand, candidates, self._now_us)
+        audit = self.audit
+        if audit is not None:
+            scores = [
+                [int(b), int(self.nand.valid_counts[b])]
+                for b in candidates[:_AUDIT_SCORE_CAP].tolist()
+            ]
+            audit.record(
+                "gc.victim", "gc", int(victim),
+                device=self.audit_device,
+                policy=type(self.victim_policy).__name__,
+                origin=origin,
+                candidates=int(candidates.size),
+                valid_pages=int(self.nand.valid_counts[victim]),
+                scores=scores,
+            )
+        return victim
 
     def _gc_candidates(self, exclude: set[int]) -> np.ndarray:
         """Fully- or partially-written blocks eligible as GC victims."""

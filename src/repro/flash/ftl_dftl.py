@@ -188,7 +188,7 @@ class DFTL(FTL):
             candidates = self._gc_candidates(exclude={self._active_block})
             if candidates.size == 0:
                 break
-            victim = self.victim_policy.choose(self.nand, candidates, self._now_us)
+            victim = self._choose_victim(candidates, origin="foreground")
             latency += self._collect(victim)
         return latency
 

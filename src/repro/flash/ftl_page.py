@@ -208,7 +208,7 @@ class PageMappingFTL(FTL):
             candidates = self._gc_candidates(exclude={self._active_block})
             if candidates.size == 0:
                 break  # nothing reclaimable; pool is as good as it gets
-            victim = self.victim_policy.choose(self.nand, candidates, self._now_us)
+            victim = self._choose_victim(candidates, origin="foreground")
             latency += self._collect(victim)
         return latency
 
@@ -258,7 +258,7 @@ class PageMappingFTL(FTL):
             candidates = self._gc_candidates(exclude={self._active_block})
             if candidates.size == 0:
                 break
-            victim = self.victim_policy.choose(self.nand, candidates, self._now_us)
+            victim = self._choose_victim(candidates, origin="background")
             # Skip victims that cost more copy-work than they reclaim.
             if self.nand.invalid_count(victim) < self.config.pages_per_block // 8:
                 break

@@ -71,6 +71,17 @@ class SimulatedSSD:
         self.counters = CounterSet()
         #: Optional span tracer (repro.obs); None keeps the hot path bare.
         self.tracer = None
+        self.ftl.audit_device = name
+
+    @property
+    def audit(self):
+        """Decision audit hook, forwarded to the FTL's GC (repro.obs)."""
+        return self.ftl.audit
+
+    @audit.setter
+    def audit(self, audit) -> None:
+        self.ftl.audit = audit
+        self.ftl.audit_device = self.name
 
     # -- capacity ------------------------------------------------------------
 

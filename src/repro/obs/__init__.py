@@ -19,6 +19,15 @@ Everything hangs off one :class:`Telemetry` object::
     write_telemetry_dir(tel, "telemetry/")
 """
 
+from repro.obs.audit import (
+    NULL_AUDIT,
+    AuditLog,
+    AuditRecord,
+    NullAudit,
+    explain_subject,
+    format_explanation,
+    load_audit_jsonl,
+)
 from repro.obs.cache_metrics import CacheEventMetrics
 from repro.obs.export import (
     load_metrics_json,
@@ -27,6 +36,7 @@ from repro.obs.export import (
     write_metrics_json,
     write_telemetry_dir,
 )
+from repro.obs.flash_metrics import FlashDeviceMetrics
 from repro.obs.instruments import DEFAULT_PERCENTILES, Counter, Gauge, Histogram
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import (
@@ -47,7 +57,15 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "AuditLog",
+    "AuditRecord",
+    "NullAudit",
+    "NULL_AUDIT",
+    "load_audit_jsonl",
+    "explain_subject",
+    "format_explanation",
     "CacheEventMetrics",
+    "FlashDeviceMetrics",
     "Telemetry",
     "stage_of_channel",
     "prometheus_text",

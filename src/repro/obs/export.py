@@ -5,6 +5,7 @@ A telemetry directory (``repro run --telemetry DIR``) holds::
     spans.jsonl    one span object per line (see repro.obs.tracer)
     metrics.json   MetricsRegistry.snapshot() (schema repro.obs.metrics/v1)
     metrics.prom   the same registry as Prometheus text exposition
+    audit.jsonl    the decision audit trail (present when auditing is on)
 
 :func:`validate_telemetry_dir` is the schema check used by both the CI
 smoke job and ``repro report``.
@@ -89,14 +90,27 @@ def load_metrics_json(path) -> dict:
 
 
 def write_telemetry_dir(telemetry, out_dir) -> dict:
-    """Write spans.jsonl / metrics.json / metrics.prom; returns a summary."""
+    """Write spans.jsonl / metrics.json / metrics.prom / audit.jsonl.
+
+    Flash-device bridges are sampled first (so wear/GC/WA gauges are
+    current), and a tracer streaming to the directory is finalized in
+    place instead of re-exported.  Returns a summary dict.
+    """
     os.makedirs(out_dir, exist_ok=True)
+    collect = getattr(telemetry, "collect", None)
+    if collect is not None:
+        collect()
     spans = telemetry.tracer.export_jsonl(os.path.join(out_dir, "spans.jsonl"))
     write_metrics_json(telemetry.registry, os.path.join(out_dir, "metrics.json"))
     with open(os.path.join(out_dir, "metrics.prom"), "w") as fh:
         fh.write(prometheus_text(telemetry.registry))
+    audit = getattr(telemetry, "audit", None)
+    audit_records = 0
+    if audit is not None and audit.enabled:
+        audit_records = audit.export_jsonl(os.path.join(out_dir, "audit.jsonl"))
     return {"spans": spans, "metrics": len(telemetry.registry),
-            "dropped_spans": telemetry.tracer.dropped}
+            "dropped_spans": telemetry.tracer.dropped,
+            "audit_records": audit_records}
 
 
 def validate_telemetry_dir(out_dir) -> dict:
@@ -136,4 +150,11 @@ def validate_telemetry_dir(out_dir) -> dict:
                 raise ValueError(f"{metrics_path}: metric missing {fld!r}: {m}")
         if m["kind"] not in ("counter", "gauge", "histogram"):
             raise ValueError(f"{metrics_path}: unknown metric kind {m['kind']!r}")
-    return {"spans": n_spans, "metrics": len(metrics)}
+
+    counts = {"spans": n_spans, "metrics": len(metrics)}
+    audit_path = os.path.join(out_dir, "audit.jsonl")
+    if os.path.exists(audit_path):
+        from repro.obs.audit import load_audit_jsonl
+
+        counts["audit_records"] = len(load_audit_jsonl(audit_path))
+    return counts

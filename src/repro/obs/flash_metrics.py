@@ -1,0 +1,92 @@
+"""Flash-device telemetry: FTL and wear counters bridged into a registry.
+
+The flash layer already counts everything Fig. 19a's lifetime argument
+needs — per-block erases, GC copy-backs, write amplification, the
+:class:`~repro.flash.wear.WearReport` projections — but those counters
+lived on the devices.  :class:`FlashDeviceMetrics` samples them into the
+shared :class:`~repro.obs.registry.MetricsRegistry` as instruments
+tagged ``device=<name>``:
+
+========================================= ======= ===========================
+metric                                    kind    source
+========================================= ======= ===========================
+``flash_erases_total``                    counter ``FtlStats.block_erases``
+``flash_host_page_reads_total``           counter ``FtlStats.host_page_reads``
+``flash_host_page_writes_total``          counter ``FtlStats.host_page_writes``
+``flash_gc_page_reads_total``             counter ``FtlStats.gc_page_reads``
+``flash_gc_page_writes_total``            counter ``FtlStats.gc_page_writes``
+``flash_translation_page_writes_total``   counter ``FtlStats`` (DFTL)
+``flash_trimmed_pages_total``             counter ``FtlStats.trimmed_pages``
+``flash_full_merges_total``               counter ``FtlStats.full_merges``
+``flash_write_amplification``             gauge   ``FtlStats.write_amplification``
+``flash_free_blocks``                     gauge   free-block pool depth
+``flash_wear_max_erases``                 gauge   ``WearReport.max_erases``
+``flash_wear_skew``                       gauge   ``WearReport.skew``
+``flash_lifetime_consumed``               gauge   ``WearReport.lifetime_consumed``
+========================================= ======= ===========================
+
+Counters are advanced by *delta* on every :meth:`collect`, so sampling
+any number of times still yields cumulative totals and cluster merges
+sum correctly across shards.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["FlashDeviceMetrics"]
+
+#: FtlStats attribute -> counter name.
+_COUNTER_FIELDS = {
+    "block_erases": "flash_erases_total",
+    "host_page_reads": "flash_host_page_reads_total",
+    "host_page_writes": "flash_host_page_writes_total",
+    "gc_page_reads": "flash_gc_page_reads_total",
+    "gc_page_writes": "flash_gc_page_writes_total",
+    "translation_page_reads": "flash_translation_page_reads_total",
+    "translation_page_writes": "flash_translation_page_writes_total",
+    "trimmed_pages": "flash_trimmed_pages_total",
+    "full_merges": "flash_full_merges_total",
+}
+
+
+class FlashDeviceMetrics:
+    """Samples one :class:`~repro.flash.ssd.SimulatedSSD` into a registry.
+
+    Purely observational: reading the counters never touches the device
+    clock or NAND state, so attaching the bridge cannot perturb a run.
+    """
+
+    def __init__(self, registry: MetricsRegistry, ssd,
+                 endurance_cycles: int = 5000) -> None:
+        self.registry = registry
+        self.ssd = ssd
+        self.endurance_cycles = endurance_cycles
+        self._last: dict[str, int] = {f: 0 for f in _COUNTER_FIELDS}
+
+    @property
+    def device(self) -> str:
+        return self.ssd.name
+
+    def collect(self) -> None:
+        """Sample the device's current counters into the registry."""
+        reg = self.registry
+        dev = self.ssd.name
+        stats = self.ssd.ftl.stats
+        for fld, metric in _COUNTER_FIELDS.items():
+            now = getattr(stats, fld, 0)
+            delta = now - self._last[fld]
+            if delta > 0:
+                reg.counter(metric, device=dev).inc(delta)
+                self._last[fld] = now
+        reg.gauge("flash_write_amplification", device=dev).set(
+            stats.write_amplification)
+        reg.gauge("flash_free_blocks", device=dev).set(
+            self.ssd.ftl.free_block_count)
+        # Wear projections (Fig. 19a / Griffin [3] lifetime argument).
+        if self.ssd.ftl.nand.erase_counts.size:
+            wear = self.ssd.wear(self.endurance_cycles)
+            reg.gauge("flash_wear_max_erases", device=dev).set(wear.max_erases)
+            reg.gauge("flash_wear_skew", device=dev).set(wear.skew)
+            reg.gauge("flash_lifetime_consumed", device=dev).set(
+                wear.lifetime_consumed)

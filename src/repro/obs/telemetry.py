@@ -19,7 +19,9 @@ per-query sum equals the query's response time.
 
 from __future__ import annotations
 
+from repro.obs.audit import NULL_AUDIT, AuditLog
 from repro.obs.cache_metrics import CacheEventMetrics
+from repro.obs.flash_metrics import FlashDeviceMetrics
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -43,28 +45,62 @@ def stage_of_channel(channel: str) -> str | None:
 
 
 class Telemetry:
-    """A metrics registry and a span tracer that travel together.
+    """A metrics registry, a span tracer and an audit log travelling together.
 
     ``trace=False`` keeps the registry (counters, histograms, stage
     breakdown) but records no spans — the cheap mode for long sweeps.
+    ``audit=False`` likewise disables the decision log, leaving the
+    shared :data:`~repro.obs.audit.NULL_AUDIT` on every decision site.
     """
 
     def __init__(self, clock=None, trace: bool = True,
-                 max_spans: int = 1_000_000) -> None:
+                 max_spans: int = 1_000_000, audit: bool = True,
+                 audit_capacity: int = 200_000) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(clock, max_spans=max_spans) if trace else NULL_TRACER
+        self.audit = (AuditLog(capacity=audit_capacity, clock=clock)
+                      if audit else NULL_AUDIT)
         self._bridges: list[CacheEventMetrics] = []
+        self._flash: list[FlashDeviceMetrics] = []
 
     def bind_clock(self, clock) -> None:
-        """Late-bind the tracer to a clock (managers own their clock)."""
+        """Late-bind the tracer and audit log to a clock (managers own
+        their clock)."""
         if isinstance(self.tracer, Tracer) and self.tracer.clock is None:
             self.tracer.clock = clock
+        self.audit.bind_clock(clock)
 
     def observe_cache_events(self, events) -> CacheEventMetrics:
-        """Subscribe the registry to a cache-event bus."""
+        """Subscribe the registry (and the audit timeline) to a
+        cache-event bus."""
         bridge = CacheEventMetrics(self.registry, events)
         self._bridges.append(bridge)
+        if self.audit.enabled:
+            self.audit.observe_events(events)
         return bridge
+
+    def observe_flash(self, ssd, endurance_cycles: int = 5000):
+        """Register a flash device for wear/GC/WA collection.
+
+        Returns the :class:`~repro.obs.flash_metrics.FlashDeviceMetrics`
+        bridge (or None when ``ssd`` is None, so callers can pass an
+        optional tier straight through).
+        """
+        if ssd is None:
+            return None
+        bridge = FlashDeviceMetrics(self.registry, ssd,
+                                    endurance_cycles=endurance_cycles)
+        self._flash.append(bridge)
+        return bridge
+
+    def collect(self) -> None:
+        """Sample every registered flash device into the registry.
+
+        Called by :func:`~repro.obs.export.write_telemetry_dir` before a
+        dump; safe to call repeatedly (counters advance by delta).
+        """
+        for bridge in self._flash:
+            bridge.collect()
 
     def busy_snapshot(self, clock) -> dict[str, float]:
         """Per-channel busy time now; pass to :meth:`record_query` later."""
@@ -100,3 +136,5 @@ class Telemetry:
         for bridge in self._bridges:
             bridge.close()
         self._bridges.clear()
+        self.audit.close()
+        self.tracer.close_stream()

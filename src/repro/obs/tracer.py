@@ -20,6 +20,7 @@ shared :data:`NULL_TRACER` (or a plain ``None`` device hook), whose
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
@@ -95,6 +96,12 @@ class Tracer:
     ``max_spans`` bounds memory on long runs: past the cap new spans are
     counted in :attr:`dropped` instead of stored (open-span nesting keeps
     working, so parent ids stay correct for what is kept).
+
+    :meth:`open_stream` switches the tracer to **streaming mode**: each
+    finished span is written to a JSONL file immediately instead of
+    accumulating in memory, so an arbitrarily long ``repro run
+    --telemetry`` holds zero spans resident.  ``max_spans`` does not
+    apply while streaming (nothing is stored, nothing is dropped).
     """
 
     enabled = True
@@ -106,6 +113,9 @@ class Tracer:
         self.dropped = 0
         self._stack: list[int] = []
         self._next_id = 1
+        self._stream = None
+        self._stream_path = None
+        self._streamed = 0
 
     def span(self, name: str, **attrs) -> _SpanCtx:
         """Open a nested span: ``with tracer.span("query", qid=7) as sp:``."""
@@ -125,10 +135,46 @@ class Tracer:
         ))
 
     def _append(self, span: Span) -> None:
+        if self._stream is not None:
+            self._stream.write(json.dumps(span.to_dict()) + "\n")
+            self._streamed += 1
+            return
         if len(self.spans) >= self.max_spans:
             self.dropped += 1
             return
         self.spans.append(span)
+
+    # -- streaming -----------------------------------------------------------
+
+    @property
+    def streaming(self) -> bool:
+        return self._stream_path is not None
+
+    @property
+    def span_count(self) -> int:
+        """Spans recorded so far (stored or already streamed to disk)."""
+        return self._streamed if self.streaming else len(self.spans)
+
+    def open_stream(self, path) -> None:
+        """Start writing finished spans straight to ``path`` as JSONL.
+
+        Spans already held in memory are flushed to the file first, so
+        switching mid-run loses nothing.
+        """
+        if self._stream is not None:
+            raise RuntimeError("tracer is already streaming")
+        self._stream = open(path, "w")
+        self._stream_path = path
+        for span in self.spans:
+            self._stream.write(json.dumps(span.to_dict()) + "\n")
+        self._streamed = len(self.spans)
+        self.spans = []
+
+    def close_stream(self) -> None:
+        """Flush and close the streaming file (path/count stay queryable)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
 
     # -- export --------------------------------------------------------------
 
@@ -136,7 +182,19 @@ class Tracer:
         return [s.to_dict() for s in self.spans]
 
     def export_jsonl(self, path) -> int:
-        """Write one JSON object per span; returns the span count."""
+        """Write one JSON object per span; returns the span count.
+
+        In streaming mode the spans are already on disk: exporting to
+        the stream's own path just finalizes the file; exporting to a
+        different path copies the streamed file there.
+        """
+        if self.streaming:
+            self.close_stream()
+            if os.path.abspath(str(path)) != os.path.abspath(str(self._stream_path)):
+                with open(self._stream_path) as src, open(path, "w") as dst:
+                    for line in src:
+                        dst.write(line)
+            return self._streamed
         with open(path, "w") as fh:
             for span in self.spans:
                 fh.write(json.dumps(span.to_dict()) + "\n")
@@ -163,12 +221,22 @@ class NullTracer:
     _SPAN = _NullSpan()
     spans: tuple = ()
     dropped = 0
+    streaming = False
+    span_count = 0
 
     def span(self, name: str, **attrs):
         return self._SPAN
 
     def record(self, name: str, start_us: float, end_us: float, **attrs) -> None:
         pass
+
+    def close_stream(self) -> None:
+        pass
+
+    def export_jsonl(self, path) -> int:
+        with open(path, "w"):
+            pass
+        return 0
 
 
 #: Shared do-nothing tracer; components default to this so tracing costs

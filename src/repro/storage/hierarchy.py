@@ -88,6 +88,21 @@ class StorageHierarchy:
             self.ssd.tracer = tracer
         self.index_store.tracer = tracer
 
+    def attach_audit(self, audit) -> None:
+        """Hook the flash devices' GC decisions into an audit log.
+
+        Mirrors :meth:`attach_tracer`: pass ``None`` to detach, and a
+        disabled audit log normalizes to None so the FTL hot paths keep
+        a single attribute check.  Only flash devices take part — DRAM
+        and HDD make no placement decisions worth auditing.
+        """
+        if audit is not None and not getattr(audit, "enabled", True):
+            audit = None
+        if self.ssd is not None:
+            self.ssd.audit = audit
+        if hasattr(self.index_store, "ftl"):
+            self.index_store.audit = audit
+
     def describe(self) -> str:
         """Short configuration label in the paper's legend style."""
         cache = f"{self.levels}LC"

@@ -1,0 +1,183 @@
+"""The bench harness: document shape, determinism, and the regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    SUITES,
+    BenchScenario,
+    DEFAULT_THRESHOLDS,
+    compare_benches,
+    format_regressions,
+    load_bench,
+    next_bench_path,
+    write_bench,
+)
+from repro.bench.harness import run_scenario
+from repro.bench.regression import Threshold
+
+TINY = BenchScenario("tiny", "cblru", docs=50_000, queries=120,
+                     mem_mb=2, ssd_mb=8)
+
+
+@pytest.fixture(scope="module")
+def tiny_entry():
+    return run_scenario(TINY)
+
+
+def make_doc(entry):
+    return {"schema": BENCH_SCHEMA, "suite": "tiny",
+            "scenarios": {"tiny": copy.deepcopy(entry)}}
+
+
+# -- running -----------------------------------------------------------------
+
+def test_scenario_metrics_shape(tiny_entry):
+    assert tiny_entry["config"] == TINY.to_dict()
+    m = tiny_entry["metrics"]
+    for key in ("mean_response_ms", "throughput_qps", "result_hit_ratio",
+                "list_hit_ratio", "combined_hit_ratio", "ssd_erases",
+                "wall_clock_s", "write_amplification"):
+        assert key in m, key
+    assert m["mean_response_ms"] > 0
+    assert 0.0 <= m["combined_hit_ratio"] <= 1.0
+    assert m["write_amplification"] >= 1.0
+    stage_keys = [k for k in m if k.startswith("stage_")]
+    assert stage_keys, "stage-latency percentiles missing"
+    assert all(m[k] >= 0 for k in stage_keys)
+
+
+def test_scenario_is_deterministic_except_wall_clock(tiny_entry):
+    again = run_scenario(TINY)["metrics"]
+    first = dict(tiny_entry["metrics"])
+    first.pop("wall_clock_s")
+    again.pop("wall_clock_s")
+    assert first == again
+
+
+def test_suites_are_registered():
+    assert set(SUITES) == {"smoke", "full"}
+    names = [s.name for s in SUITES["smoke"]]
+    assert len(names) == len(set(names))
+    assert {s.policy for s in SUITES["smoke"]} == {"lru", "cblru", "cbslru"}
+
+
+# -- document io -------------------------------------------------------------
+
+def test_write_load_roundtrip(tmp_path, tiny_entry):
+    doc = make_doc(tiny_entry)
+    path = tmp_path / "BENCH_0000.json"
+    write_bench(doc, path)
+    assert load_bench(path) == doc
+    # The file is plain sorted JSON (reviewable in a diff).
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == doc
+
+
+def test_load_rejects_bad_documents(tmp_path):
+    path = tmp_path / "bad.json"
+    for payload, msg in [
+        ({"schema": "other/v9", "scenarios": {"a": {}}}, "not a"),
+        ({"schema": BENCH_SCHEMA, "scenarios": {}}, "no scenarios"),
+        ({"schema": BENCH_SCHEMA,
+          "scenarios": {"a": {"metrics": {"x": 1}}}}, "missing 'config'"),
+        ({"schema": BENCH_SCHEMA,
+          "scenarios": {"a": {"config": {}, "metrics": {}}}}, "no metrics"),
+    ]:
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match=msg):
+            load_bench(path)
+
+
+def test_next_bench_path_numbering(tmp_path):
+    assert next_bench_path(tmp_path).endswith("BENCH_0000.json")
+    (tmp_path / "BENCH_0003.json").write_text("{}")
+    (tmp_path / "BENCH_0001.json").write_text("{}")
+    (tmp_path / "not-a-bench.json").write_text("{}")
+    assert next_bench_path(tmp_path).endswith("BENCH_0004.json")
+
+
+# -- the gate ----------------------------------------------------------------
+
+def test_identical_documents_pass(tiny_entry):
+    doc = make_doc(tiny_entry)
+    assert compare_benches(doc, doc) == []
+    assert format_regressions([]) == "no regressions"
+
+
+def test_upward_regression_is_caught(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = make_doc(tiny_entry)
+    m = cur["scenarios"]["tiny"]["metrics"]
+    m["mean_response_ms"] *= 1.5
+    regs = compare_benches(cur, base)
+    assert [r.metric for r in regs] == ["mean_response_ms"]
+    assert regs[0].rel_change == pytest.approx(0.5)
+    assert "mean_response_ms rose" in format_regressions(regs)
+
+
+def test_downward_regression_is_caught(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = make_doc(tiny_entry)
+    m = cur["scenarios"]["tiny"]["metrics"]
+    m["throughput_qps"] *= 0.5
+    m["combined_hit_ratio"] *= 0.5
+    regs = compare_benches(cur, base)
+    assert {r.metric for r in regs} == {"throughput_qps",
+                                        "combined_hit_ratio"}
+
+
+def test_improvements_and_tolerated_drift_pass(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = make_doc(tiny_entry)
+    m = cur["scenarios"]["tiny"]["metrics"]
+    m["mean_response_ms"] *= 0.5      # faster: fine
+    m["throughput_qps"] *= 2.0        # more throughput: fine
+    m["ssd_erases"] += 1              # within abs_tol slack
+    assert compare_benches(cur, base) == []
+
+
+def test_wall_clock_never_gates(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = make_doc(tiny_entry)
+    cur["scenarios"]["tiny"]["metrics"]["wall_clock_s"] *= 1000
+    assert compare_benches(cur, base) == []
+
+
+def test_stage_percentiles_gate_by_prefix(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = make_doc(tiny_entry)
+    m = cur["scenarios"]["tiny"]["metrics"]
+    stage_key = next(k for k in m if k.startswith("stage_"))
+    m[stage_key] = m[stage_key] * 2 + 10
+    regs = compare_benches(cur, base)
+    assert [r.metric for r in regs] == [stage_key]
+
+
+def test_vanished_gated_metric_is_a_regression(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = make_doc(tiny_entry)
+    del cur["scenarios"]["tiny"]["metrics"]["combined_hit_ratio"]
+    regs = compare_benches(cur, base)
+    assert [(r.metric, r.current) for r in regs] == [("combined_hit_ratio",
+                                                      0.0)]
+
+
+def test_unshared_scenarios_are_skipped(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = {"schema": BENCH_SCHEMA, "suite": "tiny",
+           "scenarios": {"renamed": copy.deepcopy(tiny_entry)}}
+    assert compare_benches(cur, base) == []
+
+
+def test_custom_thresholds_override_defaults(tiny_entry):
+    base = make_doc(tiny_entry)
+    cur = make_doc(tiny_entry)
+    cur["scenarios"]["tiny"]["metrics"]["mean_response_ms"] *= 1.5
+    lax = dict(DEFAULT_THRESHOLDS)
+    lax["mean_response_ms"] = Threshold("up", rel_tol=1.0)
+    assert compare_benches(cur, base, thresholds=lax) == []

@@ -120,3 +120,97 @@ def test_compare_command_prints_stage_breakdown(capsys):
     stage_section = out.split("per-stage latency by policy", 1)[1]
     for stage in ("l1", "l2", "hdd"):
         assert stage in stage_section
+
+
+def test_compare_command_json_payload(capsys):
+    import json
+
+    rc = main(["compare", "--json", "--docs", "100000", "--queries", "150",
+               "--mem-mb", "2", "--ssd-mb", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    payload = json.loads(out.split("wrote report", 1)[0])
+    assert payload["schema"] == "repro.compare/v1"
+    assert set(payload["policies"]) == {"lru", "cblru", "cbslru"}
+    for entry in payload["policies"].values():
+        assert entry["queries"] == 150
+        assert "stage_latency_us" in entry
+        assert "ssd-cache" in entry["flash"]
+        assert entry["flash"]["ssd-cache"]["flash_erases_total"] >= 0
+
+
+def test_run_telemetry_reports_flash_and_streams_spans(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    rc = main(["run", "--policy", "cblru", "--docs", "100000",
+               "--queries", "200", "--mem-mb", "2", "--ssd-mb", "8",
+               "--telemetry", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "flash devices" in out
+    assert "audit records" in out
+    # Spans were streamed to disk during the run, not buffered.
+    spans = (out_dir / "spans.jsonl").read_text().splitlines()
+    assert len(spans) > 0
+    assert (out_dir / "audit.jsonl").exists()
+
+
+def test_explain_command_reconstructs_a_term(tmp_path, capsys):
+    from repro.obs import load_audit_jsonl
+
+    out_dir = tmp_path / "tel"
+    main(["run", "--policy", "cblru", "--docs", "100000", "--queries", "200",
+          "--mem-mb", "2", "--ssd-mb", "8", "--telemetry", str(out_dir)])
+    capsys.readouterr()
+    records = load_audit_jsonl(out_dir / "audit.jsonl")
+    term = next(r["key"] for r in records if r["type"] == "list.select")
+    rc = main(["explain", str(out_dir), "--term", str(term)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"audit trail for list {term}" in out
+    assert "EV=" in out
+    assert "verdict:" in out
+
+
+def test_explain_command_unknown_subject_exits_nonzero(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    main(["run", "--policy", "cblru", "--docs", "100000", "--queries", "150",
+          "--mem-mb", "2", "--ssd-mb", "8", "--telemetry", str(out_dir)])
+    capsys.readouterr()
+    rc = main(["explain", str(out_dir), "--gc-block", "99999999"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "no records" in out
+
+
+def test_explain_command_requires_audit_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["explain", str(tmp_path), "--term", "1"])
+
+
+def test_bench_command_writes_document_and_gates(tmp_path, capsys):
+    import json
+
+    from repro.bench import load_bench
+
+    out = tmp_path / "BENCH_test.json"
+    rc = main(["bench", "--suite", "smoke", "--out", str(out)])
+    stdout = capsys.readouterr().out
+    assert rc == 0
+    assert "wrote" in stdout
+    doc = load_bench(out)
+    assert set(doc["scenarios"]) == {"lru-smoke", "cblru-smoke",
+                                     "cbslru-smoke"}
+
+    # Inject a regression into the baseline: pretend it was much faster.
+    tampered = tmp_path / "tampered.json"
+    bad = json.loads(out.read_text())
+    for entry in bad["scenarios"].values():
+        entry["metrics"]["mean_response_ms"] *= 0.5
+    tampered.write_text(json.dumps(bad))
+    rc = main(["bench", "--suite", "smoke", "--out",
+               str(tmp_path / "BENCH_again.json"), "--against",
+               str(tampered)])
+    stdout = capsys.readouterr().out
+    assert rc == 1
+    assert "regression" in stdout
+    assert "mean_response_ms rose" in stdout

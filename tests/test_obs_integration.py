@@ -136,7 +136,9 @@ def test_write_and_validate_telemetry_dir(tmp_path, small_index):
     assert written["metrics"] > 0
     assert written["dropped_spans"] == 0
     counts = validate_telemetry_dir(out)
-    assert counts == {"spans": written["spans"], "metrics": written["metrics"]}
+    assert counts == {"spans": written["spans"], "metrics": written["metrics"],
+                      "audit_records": written["audit_records"]}
+    assert written["audit_records"] > 0
 
 
 def test_validate_rejects_missing_and_malformed(tmp_path, small_index):
