@@ -9,8 +9,10 @@ cache, replays a query stream, and shows every exposition surface:
 * the span tree of a single query,
 * the decision audit trail and `repro explain`-style verdicts,
 * the flash-device telemetry bridge (erases, WA, wear projections),
+* the timeline: windowed time series, steady-state detection,
+  sparklines, SLO verdicts, and tail exemplars,
 * the on-disk telemetry dir (spans.jsonl / metrics.json / metrics.prom
-  / audit.jsonl).
+  / audit.jsonl / timeline.jsonl).
 
 Run:  python examples/telemetry_tour.py
 """
@@ -27,10 +29,16 @@ from repro import (
     generate_query_log,
 )
 from repro.obs import (
+    DEFAULT_SLOS,
     Telemetry,
+    evaluate_slos,
     explain_subject,
     format_explanation,
     format_stage_breakdown,
+    run_detectors,
+    sparkline,
+    steady_state_window,
+    window_series,
     write_telemetry_dir,
 )
 
@@ -47,6 +55,7 @@ def main() -> None:
     # One registry + one tracer, attached as a unit. Everything below is
     # observation only: outcomes are identical with telemetry=None.
     tel = Telemetry()
+    tel.attach_timeline(window_us=50_000.0)  # 50 ms windows + exemplars
     cfg = CacheConfig.paper_split(mem_bytes=8 * MB, ssd_bytes=64 * MB)
     manager = CacheManager(cfg, build_hierarchy_for(cfg, index), index,
                            telemetry=tel)
@@ -104,12 +113,46 @@ def main() -> None:
         if name.startswith("flash_"):
             print(f"  {name}{{device={tags['device']}}} = {inst.value:g}")
 
-    # 7. Export: what `repro run --telemetry DIR` writes.
+    # 7. The timeline: the same registry, factored over 50 ms windows.
+    # Counter deltas per window sum exactly to the cumulative counters;
+    # merged sub-histograms reproduce the run-level distributions.
+    tel.timeline.finish()
+    windows = tel.timeline.windows
+    steady = steady_state_window(windows)
+    print(f"\ntimeline: {len(windows)} windows of 50 ms; "
+          f"steady state from window {steady}")
+    for series in ("hit_ratio", "p99_response_us", "write_amp"):
+        vals = [v for _, v in window_series(windows, series)]
+        print(f"  {series:<16s} {sparkline(vals, width=60)}")
+
+    # 8. SLO verdicts and anomaly detectors over those windows — what
+    # `repro timeline DIR` (and `--strict` in CI) checks.
+    print("\nSLOs:")
+    for res in evaluate_slos(DEFAULT_SLOS, windows):
+        print(f"  {res.format()}")
+    anomalies = run_detectors(windows)
+    print(f"anomalies: {len(anomalies)}")
+    for a in anomalies[:3]:
+        print(f"  {a.format()}")
+
+    # 9. Tail exemplars: each one remembers which query (and span)
+    # produced a sample above the live p99, so aggregate tail latency
+    # chains back to a cause (`repro explain DIR --query N`).
+    exemplars = tel.exemplars.to_dicts()
+    if exemplars:
+        ex = exemplars[-1]
+        print(f"\ntail exemplar: {ex['metric']} = {ex['value_us']:.1f} us "
+              f"(query {ex['query_id']}, span {ex['span_id']}, "
+              f"window {ex['window']})")
+
+    # 10. Export: what `repro run --telemetry DIR --timeline` writes.
     with tempfile.TemporaryDirectory() as out:
         written = write_telemetry_dir(tel, out)
         print(f"\nwrote {written['spans']} spans, {written['metrics']} "
-              f"metrics and {written['audit_records']} audit records "
-              f"(spans.jsonl, metrics.json, metrics.prom, audit.jsonl)")
+              f"metrics, {written['audit_records']} audit records and "
+              f"{written.get('timeline_windows', 0)} timeline windows "
+              f"(spans.jsonl, metrics.json, metrics.prom, audit.jsonl, "
+              f"timeline.jsonl)")
 
 
 if __name__ == "__main__":

@@ -10,8 +10,8 @@ regression gate in CI rather than a noise detector.
 
 Typical flow::
 
-    repro bench --suite smoke --out BENCH_0004.json
-    repro bench --suite smoke --against BENCH_0003.json   # exits 1 on regression
+    repro bench --suite smoke --out BENCH_0005.json
+    repro bench --suite smoke --against BENCH_0004.json   # exits 1 on regression
 """
 
 from repro.bench.harness import (

@@ -2,16 +2,29 @@
 
 Each scenario replays a deterministic query log through the full cached
 stack with a registry-only :class:`~repro.obs.Telemetry` attached (no
-spans, no audit — the cheap configuration), then folds the run result,
-the stage-latency histograms and the flash-device bridge into one flat
-metrics dict.  Every metric except ``wall_clock_s`` is a pure function
-of the code and the seed, so unchanged code reproduces the document
-exactly.
+spans, no audit — the cheap configuration) plus a windowed timeline,
+then folds the run result, the stage-latency histograms and the
+flash-device bridge into one flat metrics dict.  Every metric except
+``wall_clock_s`` is a pure function of the code and the seed, so
+unchanged code reproduces the document exactly.
+
+**Steady-state measurement** (methodology ``steady-state/v1``): latency
+and hit-ratio metrics are computed over the timeline windows from the
+first mean-stable hit-ratio window onward (see
+:func:`~repro.obs.timeline.steady_state_window`), so cold-cache warmup
+no longer dilutes the numbers the regression gate compares.  Flash
+totals that accumulate over the whole device lifetime
+(``write_amplification``, ``gc_page_writes``) stay full-run.  The
+methodology is recorded in the document, and
+:func:`~repro.bench.regression.compare_benches` refuses to compare
+documents measured under different methodologies.
 
 Document schema (``repro.bench/v1``)::
 
     {"schema": "repro.bench/v1", "suite": "smoke",
-     "scenarios": {"<name>": {"config": {...}, "metrics": {...}}}}
+     "methodology": {"name": "steady-state/v1", ...},
+     "scenarios": {"<name>": {"config": {...}, "metrics": {...},
+                              "measurement": {...}}}}
 """
 
 from __future__ import annotations
@@ -23,10 +36,25 @@ import time
 
 from repro.bench.scenarios import SUITES, BenchScenario
 
-__all__ = ["BENCH_SCHEMA", "run_suite", "run_scenario", "write_bench",
-           "load_bench", "next_bench_path"]
+__all__ = ["BENCH_SCHEMA", "METHODOLOGY", "run_suite", "run_scenario",
+           "write_bench", "load_bench", "next_bench_path"]
 
 BENCH_SCHEMA = "repro.bench/v1"
+
+#: How the metrics were measured; recorded in every document so the
+#: regression gate can refuse cross-methodology comparisons.
+#: Tolerances are looser than the :func:`steady_state_window` defaults
+#: because smoke-scale windows hold only a handful of queries each, so
+#: the per-window hit ratio carries ~0.1-0.2 of quantization noise on
+#: top of the warmup trend the test is meant to detect.
+METHODOLOGY = {
+    "name": "steady-state/v1",
+    "window_us": 100_000.0,
+    "series": "hit_ratio",
+    "stability_k": 5,
+    "rel_tol": 0.3,
+    "abs_tol": 0.1,
+}
 
 MB = 1024 * 1024
 
@@ -36,10 +64,26 @@ _STAGE_QS = (50.0, 99.0)
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
+def _ratio(counters: dict, name: str, hit_outcomes=("l1_hit", "l2_hit")):
+    """Hit ratio over one ``cache_*_lookups_total`` counter family."""
+    from repro.obs.timeline import parse_series_key
+
+    hits = lookups = 0.0
+    for key, v in counters.items():
+        if not key.startswith(name + "{"):
+            continue
+        lookups += v
+        _, tags = parse_series_key(key)
+        if tags.get("outcome") in hit_outcomes:
+            hits += v
+    return (hits / lookups if lookups else 0.0), lookups
+
+
 def run_scenario(scenario: BenchScenario) -> dict:
-    """Run one scenario; returns its ``{"config", "metrics"}`` entry."""
+    """Run one scenario; returns its ``{"config", "metrics",
+    "measurement"}`` entry."""
     from repro.core.config import CacheConfig, Policy
-    from repro.obs import Telemetry
+    from repro.obs import Telemetry, merge_windows, steady_state_window
     from repro.workloads.retrieval import run_cached
     from repro.workloads.sweep import make_log_for, make_scaled_index
 
@@ -51,6 +95,7 @@ def run_scenario(scenario: BenchScenario) -> dict:
         ttl_us=scenario.ttl_ms * 1000.0,
     )
     tel = Telemetry(trace=False, audit=False)
+    timeline = tel.attach_timeline(window_us=METHODOLOGY["window_us"])
     t0 = time.perf_counter()
     result = run_cached(
         index, log, cfg,
@@ -59,9 +104,24 @@ def run_scenario(scenario: BenchScenario) -> dict:
         telemetry=tel,
     )
     wall = time.perf_counter() - t0
-    tel.collect()
+    timeline.finish()
+
+    windows = list(timeline.windows)
+    steady = steady_state_window(
+        windows, series=METHODOLOGY["series"], k=METHODOLOGY["stability_k"],
+        rel_tol=METHODOLOGY["rel_tol"], abs_tol=METHODOLOGY["abs_tol"],
+    )
+    merged = merge_windows(windows, start_window=steady)
+    measurement = {
+        "steady_window": steady,
+        "windows_total": len(windows),
+        "windows_measured": sum(
+            1 for w in windows if steady is None or w["window"] >= steady),
+    }
 
     stats = result.stats
+    # Full-run fallbacks, overridden below by steady-state numbers when
+    # the windowed data supports them.
     metrics: dict = {
         "mean_response_ms": stats.mean_response_us / 1000.0,
         "throughput_qps": stats.throughput_qps,
@@ -71,6 +131,39 @@ def run_scenario(scenario: BenchScenario) -> dict:
         "ssd_erases": result.ssd_erases,
         "wall_clock_s": wall,
     }
+    counters = merged["counters"]
+    hists = merged["histograms"]
+
+    response = None
+    for key, h in hists.items():
+        if not key.startswith("query_latency_us"):
+            continue
+        if response is None:
+            response = h
+        else:
+            response.merge(h)
+    if response is not None and response.count:
+        metrics["mean_response_ms"] = response.sum / response.count / 1000.0
+        metrics["throughput_qps"] = response.count / (response.sum / 1e6)
+        metrics["p99_response_ms"] = response.percentile(99.0) / 1000.0
+
+    r_ratio, r_lookups = _ratio(counters, "cache_result_lookups_total")
+    l_ratio, l_lookups = _ratio(counters, "cache_list_lookups_total")
+    if r_lookups:
+        metrics["result_hit_ratio"] = r_ratio
+    if l_lookups:
+        metrics["list_hit_ratio"] = l_ratio
+    if r_lookups + l_lookups:
+        metrics["combined_hit_ratio"] = (
+            r_ratio * r_lookups + l_ratio * l_lookups
+        ) / (r_lookups + l_lookups)
+
+    erases = counters.get("flash_erases_total{device=ssd-cache}")
+    if erases is not None:
+        metrics["ssd_erases"] = erases
+
+    # Lifetime accumulators stay full-run: WA and GC totals only mean
+    # something over the device's whole history.
     wa = tel.registry.get("flash_write_amplification", device="ssd-cache")
     if wa is not None:
         metrics["write_amplification"] = wa.value
@@ -78,15 +171,18 @@ def run_scenario(scenario: BenchScenario) -> dict:
                                  device="ssd-cache")
     if gc_writes is not None:
         metrics["gc_page_writes"] = gc_writes.value
-    for name, tags, inst in tel.registry.items():
-        if name != "stage_latency_us" or inst.kind != "histogram":
-            continue
-        if not inst.count:
+
+    from repro.obs.timeline import parse_series_key
+
+    for key, inst in hists.items():
+        name, tags = parse_series_key(key)
+        if name != "stage_latency_us" or not inst.count:
             continue
         stage = tags["stage"]
         for q in _STAGE_QS:
             metrics[f"stage_{stage}_p{q:g}_us"] = inst.percentile(q)
-    return {"config": scenario.to_dict(), "metrics": metrics}
+    return {"config": scenario.to_dict(), "metrics": metrics,
+            "measurement": measurement}
 
 
 def run_suite(suite: str = "smoke", progress=None) -> dict:
@@ -97,7 +193,8 @@ def run_suite(suite: str = "smoke", progress=None) -> dict:
         raise ValueError(
             f"unknown suite {suite!r}; choose from {sorted(SUITES)}"
         ) from None
-    doc: dict = {"schema": BENCH_SCHEMA, "suite": suite, "scenarios": {}}
+    doc: dict = {"schema": BENCH_SCHEMA, "suite": suite,
+                 "methodology": dict(METHODOLOGY), "scenarios": {}}
     for scenario in scenarios:
         if progress is not None:
             progress(scenario)

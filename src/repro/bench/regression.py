@@ -87,7 +87,26 @@ def compare_benches(
     Within a shared scenario, a gated metric that the baseline recorded
     as nonzero but the current run no longer reports is treated as a
     regression to 0.
+
+    Documents measured under different methodologies (the harness's
+    ``methodology`` block — e.g. full-run vs steady-state-windowed) are
+    not comparable: their numbers answer different questions, so this
+    raises ``ValueError`` instead of producing a meaningless verdict.
     """
+    cur_meth = current.get("methodology")
+    base_meth = baseline.get("methodology")
+    if cur_meth != base_meth:
+        def _name(m):
+            return m.get("name", "?") if isinstance(m, dict) else "pre-methodology"
+        detail = f"current is {_name(cur_meth)!r}, baseline is {_name(base_meth)!r}"
+        if isinstance(cur_meth, dict) and isinstance(base_meth, dict):
+            differing = sorted(k for k in set(cur_meth) | set(base_meth)
+                               if cur_meth.get(k) != base_meth.get(k))
+            detail += f" (differing parameters: {', '.join(differing)})"
+        raise ValueError(
+            f"cannot compare benches across measurement methodologies: "
+            f"{detail}; re-record the baseline with the current harness"
+        )
     thresholds = thresholds if thresholds is not None else DEFAULT_THRESHOLDS
     out: list[Regression] = []
     for name, base_entry in baseline.get("scenarios", {}).items():

@@ -7,11 +7,15 @@ The subcommands cover the common standalone uses of the library::
     repro analyze  t.spc --format spc             # analyze an existing trace
     repro run      --policy cbslru --queries 5000 # full cached retrieval run
     repro run      ... --telemetry out/           # + spans, metrics, audit dump
+    repro run      ... --telemetry out/ --timeline  # + windowed time series
     repro report   out/                           # re-read a telemetry dir
+    repro timeline out/                           # sparklines + SLO verdicts
     repro explain  out/ --term 123                # why is term 123 (not) on SSD?
+    repro explain  out/ --query 17                # trace a tail latency exemplar
     repro compare  --queries 5000                 # all policies side by side
+    repro compare  out-a/ out-b/                  # compare saved telemetry dirs
     repro bench    --suite smoke                  # deterministic benchmark run
-    repro bench    --suite smoke --against BENCH_0003.json  # regression gate
+    repro bench    --suite smoke --against BENCH_0004.json  # regression gate
 
 Install exposes ``repro`` as a console entry point; ``python -m
 repro.cli`` works without installation.
@@ -71,11 +75,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", type=str, default=None, metavar="DIR",
                    help="collect spans + metrics and write them to DIR "
                         "(spans.jsonl, metrics.json, metrics.prom)")
+    p.add_argument("--timeline", action="store_true",
+                   help="stream windowed time series to DIR/timeline.jsonl "
+                        "(requires --telemetry)")
+    p.add_argument("--window-ms", type=float, default=50.0,
+                   help="timeline window width in virtual-clock "
+                        "milliseconds (default 50)")
 
     p = sub.add_parser("report",
                        help="print the per-stage breakdown of a telemetry dir")
     p.add_argument("dir", type=str,
                    help="directory written by `repro run --telemetry`")
+
+    p = sub.add_parser("timeline",
+                       help="render a timeline.jsonl as sparkline charts "
+                            "with SLO verdicts and anomalies")
+    p.add_argument("path", type=str,
+                   help="telemetry dir (timeline.jsonl inside) or a "
+                        "timeline.jsonl file")
+    p.add_argument("--series", action="append", default=None,
+                   help="series to chart (repeatable; default: every "
+                        "derived series with data)")
+    p.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                   help="SLO spec like 'p99_response_us < 100000 @ 95%%' "
+                        "(repeatable; default: the built-in set)")
+    p.add_argument("--width", type=int, default=60,
+                   help="sparkline width in characters")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero when an SLO is violated or a "
+                        "critical anomaly fires")
 
     p = sub.add_parser("explain",
                        help="reconstruct one subject's decision history from "
@@ -90,11 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="explain an SSD result block by RB id")
     g.add_argument("--gc-block", type=int, default=None,
                    help="explain a flash block's GC victim selections")
+    g.add_argument("--query", type=int, default=None,
+                   help="trace a tail-latency exemplar for this query id "
+                        "(needs a dir written with --timeline)")
     p.add_argument("--at-us", type=float, default=None,
                    help="reconstruct state as of this virtual-clock time")
 
     p = sub.add_parser("compare",
-                       help="run all three policies and emit a markdown report")
+                       help="run all three policies and emit a markdown "
+                            "report (or compare saved telemetry dirs)")
+    p.add_argument("dirs", nargs="*", default=[],
+                   help="telemetry dirs to compare instead of running "
+                        "the policies")
     p.add_argument("--docs", type=int, default=1_000_000)
     p.add_argument("--queries", type=int, default=4_000)
     p.add_argument("--mem-mb", type=int, default=16)
@@ -187,6 +222,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.manager import CacheManager, build_hierarchy_for
     from repro.workloads.sweep import make_log_for, make_scaled_index
 
+    if args.timeline and not args.telemetry:
+        print("error: --timeline requires --telemetry DIR", file=sys.stderr)
+        return 2
     telemetry = None
     if args.telemetry:
         import os
@@ -199,6 +237,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         os.makedirs(args.telemetry, exist_ok=True)
         telemetry.tracer.open_stream(os.path.join(args.telemetry,
                                                   "spans.jsonl"))
+        if args.timeline:
+            # Windows stream the same way: each one is written the
+            # moment it closes.
+            telemetry.attach_timeline(
+                window_us=args.window_ms * 1000.0,
+                stream_path=os.path.join(args.telemetry, "timeline.jsonl"),
+            )
 
     index = make_scaled_index(args.docs)
     log = make_log_for(args.queries, seed=args.seed)
@@ -255,6 +300,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"to {args.telemetry}/")
         if written["dropped_spans"]:
             print(f"({written['dropped_spans']} spans dropped past the cap)")
+        if args.timeline:
+            from repro.obs import steady_state_window
+
+            timeline = telemetry.timeline
+            steady = steady_state_window(timeline.windows)
+            n_ex = len(telemetry.exemplars.exemplars)
+            steady_txt = (f"steady from window {steady}"
+                          if steady is not None else "no steady state")
+            print(f"timeline: {timeline.emitted} windows x "
+                  f"{args.window_ms:g} ms, {n_ex} exemplars, {steady_txt} "
+                  f"-> {args.telemetry}/timeline.jsonl")
     return 0
 
 
@@ -290,11 +346,112 @@ def _cmd_report(args: argparse.Namespace) -> int:
         validate_telemetry_dir,
     )
 
-    counts = validate_telemetry_dir(args.dir)
-    snapshot = load_metrics_json(os.path.join(args.dir, "metrics.json"))
+    try:
+        counts = validate_telemetry_dir(args.dir)
+        snapshot = load_metrics_json(os.path.join(args.dir, "metrics.json"))
+    except (ValueError, OSError) as exc:
+        print(f"error: {args.dir}: not a usable telemetry directory ({exc})",
+              file=sys.stderr)
+        return 2
     print(format_stage_breakdown(
         snapshot, title=f"per-stage latency ({args.dir})"))
-    print(f"\n{counts['spans']} spans, {counts['metrics']} metrics")
+    line = f"\n{counts['spans']} spans, {counts['metrics']} metrics"
+    if "timeline_windows" in counts:
+        line += (f", {counts['timeline_windows']} timeline windows "
+                 f"(see `repro timeline {args.dir}`)")
+    print(line)
+    return 0
+
+
+def _resolve_timeline_path(path: str) -> str:
+    import os
+
+    if os.path.isdir(path):
+        return os.path.join(path, "timeline.jsonl")
+    return path
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        DEFAULT_SLOS,
+        evaluate_slos,
+        load_timeline_jsonl,
+        parse_slo,
+        run_detectors,
+        sparkline,
+        steady_state_window,
+        window_series,
+    )
+    from repro.obs.timeline import DERIVED_SERIES
+
+    path = _resolve_timeline_path(args.path)
+    try:
+        tl = load_timeline_jsonl(path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {path}: not a usable timeline ({exc}); "
+              f"record one with `repro run --telemetry DIR --timeline`",
+              file=sys.stderr)
+        return 2
+    if not tl.windows:
+        print(f"error: {path}: timeline holds no windows", file=sys.stderr)
+        return 2
+
+    first = tl.windows[0]["window"]
+    last = tl.windows[-1]["window"]
+    print(f"timeline: {len(tl.windows)} windows x {tl.window_us / 1000:g} ms "
+          f"(windows {first}..{last}, {len(tl.exemplars)} exemplars)")
+    steady = steady_state_window(tl.windows)
+    if steady is not None:
+        print(f"steady state from window {steady} "
+              f"(t = {steady * tl.window_us / 1e6:.2f} s)")
+    else:
+        print("steady state: never reached")
+    print()
+
+    names = args.series or [s for s in DERIVED_SERIES
+                            if window_series(tl.windows, s)]
+    label_w = max((len(n) for n in names), default=0)
+    for name in names:
+        pts = window_series(tl.windows, name)
+        if not pts:
+            print(f"{name:<{label_w}}  (no data)")
+            continue
+        by_window = dict(pts)
+        values = [by_window.get(w) for w in range(first, last + 1)]
+        vals = [v for v in values if v is not None]
+        print(f"{name:<{label_w}}  {sparkline(values, width=args.width)}  "
+              f"min {min(vals):g}  max {max(vals):g}  last {vals[-1]:g}")
+    print()
+
+    try:
+        slos = [parse_slo(s) for s in args.slo] if args.slo \
+            else list(DEFAULT_SLOS)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = evaluate_slos(slos, tl.windows)
+    print("SLOs:")
+    for res in results:
+        print(f"  {res.format()}")
+    anomalies = run_detectors(tl.windows)
+    if anomalies:
+        # Critical anomalies always print; warnings are capped so a
+        # noisy sparse run doesn't scroll the verdicts off the screen.
+        critical = [a for a in anomalies if a.severity == "critical"]
+        warns = [a for a in anomalies if a.severity != "critical"]
+        shown = critical + warns[: max(0, 10 - len(critical))]
+        print(f"anomalies: {len(anomalies)} "
+              f"({len(critical)} critical, {len(warns)} warn)")
+        for a in sorted(shown, key=lambda a: (a.window, a.detector)):
+            print(f"  {a.format()}")
+        if len(shown) < len(anomalies):
+            print(f"  ... and {len(anomalies) - len(shown)} more")
+    else:
+        print("anomalies: none")
+
+    if args.strict and (any(r.verdict == "violated" for r in results)
+                        or any(a.severity == "critical" for a in anomalies)):
+        return 1
     return 0
 
 
@@ -305,26 +462,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.workloads.retrieval import run_cached
     from repro.workloads.sweep import make_log_for, make_scaled_index
 
+    if args.dirs:
+        return _compare_dirs(args)
+
     index = make_scaled_index(args.docs)
     log = make_log_for(args.queries, seed=args.seed)
     results = {}
     registries = {}
+    timelines = {}
     for policy in (Policy.LRU, Policy.CBLRU, Policy.CBSLRU):
         cfg = CacheConfig.paper_split(args.mem_mb * MB, args.ssd_mb * MB,
                                       policy=policy)
         tel = Telemetry(trace=False, audit=False)
+        timeline = tel.attach_timeline(window_us=50_000.0)
         results[policy.value] = run_cached(
             index, log, cfg, static_analyze_queries=args.queries // 2,
             telemetry=tel,
         )
-        tel.collect()  # sample the flash bridges before reading the registry
+        timeline.finish()  # also samples the flash bridges (collect)
         registries[policy.value] = tel.registry
+        timelines[policy.value] = list(timeline.windows)
 
     if args.json:
         import json
 
-        report = json.dumps(_compare_payload(results, registries), indent=1,
-                            sort_keys=True)
+        payload = _compare_payload(results, registries)
+        payload["timeline"] = _compare_timelines(timelines)
+        report = json.dumps(payload, indent=1, sort_keys=True)
     else:
         report = policy_comparison_report(
             results, title=f"Policy comparison on {args.docs:,} docs"
@@ -343,12 +507,110 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 ["policy", "erases", "WA", "free blocks", "wear skew",
                  "life used"],
                 flash_rows, title="flash telemetry (ssd-cache)")
+        report += "\n\n" + _timeline_table(timelines)
     print(report)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)
             fh.write("\n")
         print(f"wrote report to {args.out}")
+    return 0
+
+
+def _compare_timelines(timelines: dict) -> dict:
+    """The per-policy timeline section of the compare JSON payload."""
+    from repro.obs import steady_state_window, window_series
+
+    out = {}
+    for policy, windows in timelines.items():
+        out[policy] = {
+            "windows": len(windows),
+            "steady_window": steady_state_window(windows),
+            "hit_ratio": [v for _, v in window_series(windows, "hit_ratio")],
+            "p99_response_us": [
+                v for _, v in window_series(windows, "p99_response_us")],
+        }
+    return out
+
+
+def _timeline_table(timelines: dict) -> str:
+    """Warmup columns: hit-ratio trajectory and steady-state onset."""
+    from repro.obs import sparkline, steady_state_window, window_series
+
+    rows = []
+    for policy, windows in timelines.items():
+        pts = window_series(windows, "hit_ratio")
+        steady = steady_state_window(windows)
+        rows.append([
+            policy,
+            len(windows),
+            steady if steady is not None else "-",
+            sparkline([v for _, v in pts], width=30) or "-",
+            f"{pts[-1][1]:.1%}" if pts else "-",
+        ])
+    return format_table(
+        ["policy", "windows", "steady@", "hit ratio over time", "final"],
+        rows, title="timeline (50 ms windows)")
+
+
+def _compare_dirs(args: argparse.Namespace) -> int:
+    """Compare previously-written telemetry dirs side by side."""
+    import os
+
+    from repro.obs import (
+        load_metrics_json,
+        load_timeline_jsonl,
+        sparkline,
+        steady_state_window,
+        sub_histogram,
+        validate_telemetry_dir,
+        window_series,
+    )
+
+    rows = []
+    for d in args.dirs:
+        try:
+            validate_telemetry_dir(d)
+            snapshot = load_metrics_json(os.path.join(d, "metrics.json"))
+        except (ValueError, OSError) as exc:
+            print(f"error: {d}: not a usable telemetry directory ({exc})",
+                  file=sys.stderr)
+            return 2
+        queries = sum(
+            m["value"] for m in snapshot["metrics"]
+            if m["name"] == "queries_total")
+        mean_ms = p99_ms = None
+        merged = None
+        for m in snapshot["metrics"]:
+            if m["name"] == "query_latency_us" and m["kind"] == "histogram" \
+                    and m["count"]:
+                h = sub_histogram(m)  # snapshot carries the same fields
+                if merged is None:
+                    merged = h
+                else:
+                    merged.merge(h)
+        if merged is not None:
+            mean_ms = merged.mean / 1000.0
+            p99_ms = merged.percentile(99.0) / 1000.0
+        timeline_path = os.path.join(d, "timeline.jsonl")
+        spark = steady = "-"
+        if os.path.exists(timeline_path):
+            tl = load_timeline_jsonl(timeline_path)
+            pts = window_series(tl.windows, "hit_ratio")
+            spark = sparkline([v for _, v in pts], width=24) or "-"
+            s = steady_state_window(tl.windows)
+            steady = s if s is not None else "-"
+        rows.append([
+            d,
+            int(queries),
+            f"{mean_ms:.2f}" if mean_ms is not None else "-",
+            f"{p99_ms:.2f}" if p99_ms is not None else "-",
+            steady,
+            spark,
+        ])
+    print(format_table(
+        ["dir", "queries", "mean ms", "p99 ms", "steady@", "hit ratio"],
+        rows, title="telemetry dirs"))
     return 0
 
 
@@ -391,6 +653,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     from repro.obs import explain_subject, format_explanation, load_audit_jsonl
 
+    if args.query is not None:
+        return _explain_query(args.path, args.query)
     path = args.path
     if os.path.isdir(path):
         path = os.path.join(path, "audit.jsonl")
@@ -407,6 +671,78 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     explanation = explain_subject(records, kind, key, at_us=args.at_us)
     print(format_explanation(explanation))
     return 0 if explanation["events"] else 1
+
+
+def _explain_query(dir_path: str, query_id: int) -> int:
+    """Chain a tail-latency exemplar to its span tree and audit records."""
+    import json
+    import os
+
+    from repro.obs import load_audit_jsonl, load_timeline_jsonl
+
+    if not os.path.isdir(dir_path):
+        print(f"error: {dir_path}: --query needs a telemetry directory "
+              f"(written by `repro run --telemetry DIR --timeline`)",
+              file=sys.stderr)
+        return 2
+    timeline_path = os.path.join(dir_path, "timeline.jsonl")
+    if not os.path.exists(timeline_path):
+        print(f"error: {timeline_path} missing; exemplars are recorded by "
+              f"`repro run --telemetry {dir_path} --timeline`",
+              file=sys.stderr)
+        return 2
+    tl = load_timeline_jsonl(timeline_path)
+    exemplars = [e for e in tl.exemplars if e.get("query_id") == query_id]
+    if not exemplars:
+        print(f"no tail exemplars for query {query_id} — only samples above "
+              f"the capture percentile are recorded; see the exemplar lines "
+              f"in {timeline_path} for the queries that are")
+        return 1
+
+    spans = {}
+    spans_path = os.path.join(dir_path, "spans.jsonl")
+    if os.path.exists(spans_path):
+        with open(spans_path) as fh:
+            for line in fh:
+                span = json.loads(line)
+                spans[span["span_id"]] = span
+    children: dict = {}
+    for span in spans.values():
+        children.setdefault(span.get("parent_id"), []).append(span)
+
+    audit = []
+    audit_path = os.path.join(dir_path, "audit.jsonl")
+    if os.path.exists(audit_path):
+        audit = load_audit_jsonl(audit_path)
+
+    print(f"query {query_id}: {len(exemplars)} tail exemplar(s)")
+    for ex in exemplars:
+        print(f"\nexemplar: {ex['metric']} = {ex['value_us']:.1f} us "
+              f"(window {ex['window']}, t = {ex.get('t_us', 0.0):.1f} us)")
+        root = spans.get(ex.get("span_id"))
+        if root is None:
+            print("  (no matching span — run with tracing enabled to "
+                  "capture the breakdown)")
+            continue
+
+        def show(span, depth):
+            attrs = " ".join(f"{k}={v}" for k, v in span["attrs"].items())
+            print(f"  {'  ' * depth}{span['name']} "
+                  f"[{span['dur_us']:.1f} us] {attrs}".rstrip())
+            for child in sorted(children.get(span["span_id"], []),
+                                key=lambda s: s["start_us"]):
+                show(child, depth + 1)
+
+        show(root, 0)
+        inside = [r for r in audit
+                  if root["start_us"] <= r["t_us"] <= root["end_us"]]
+        if inside:
+            print(f"  decisions during this query ({len(inside)}):")
+            for r in inside:
+                data = " ".join(f"{k}={v}" for k, v in r["data"].items())
+                print(f"    t={r['t_us']:.1f} {r['type']} "
+                      f"{r['kind']}:{r['key']} {data}".rstrip())
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -433,7 +769,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"wrote {out}")
     if args.against:
         baseline = load_bench(args.against)
-        regressions = compare_benches(doc, baseline)
+        try:
+            regressions = compare_benches(doc, baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(f"gate vs {args.against}: {format_regressions(regressions)}")
         if regressions:
             return 1
@@ -448,6 +788,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "run": _cmd_run,
         "report": _cmd_report,
+        "timeline": _cmd_timeline,
         "explain": _cmd_explain,
         "compare": _cmd_compare,
         "bench": _cmd_bench,

@@ -101,6 +101,7 @@ class Broker:
         cache_config: CacheConfig,
         merge_overhead_us: float = 200.0,
         telemetry: bool = False,
+        timeline_window_us: float | None = None,
     ) -> "Broker":
         """Partition ``corpus`` and assemble a cluster of cached shards.
 
@@ -108,6 +109,9 @@ class Broker:
         :class:`~repro.obs.Telemetry` (registry only, no spans — span
         volume across a whole cluster would swamp memory); aggregate the
         registries with :meth:`aggregated_registry`.
+        ``timeline_window_us`` additionally attaches a windowed recorder
+        per shard (implies telemetry), enabling :meth:`shard_timelines`
+        and :meth:`detect_skew`.
         """
         from repro.cluster.shard import partition_corpus
 
@@ -115,10 +119,12 @@ class Broker:
         shards = []
         for i, stats in enumerate(partitions):
             tel = None
-            if telemetry:
+            if telemetry or timeline_window_us is not None:
                 from repro.obs import Telemetry
 
                 tel = Telemetry(trace=False)
+                if timeline_window_us is not None:
+                    tel.attach_timeline(window_us=timeline_window_us)
             shards.append(IndexShard(i, stats, cache_config, telemetry=tel))
         return cls(shards, merge_overhead_us=merge_overhead_us)
 
@@ -192,6 +198,29 @@ class Broker:
             if shard.telemetry is not None:
                 merged.merge(shard.telemetry.registry)
         return merged
+
+    def shard_timelines(self) -> dict:
+        """Per-shard window records (shard id -> list of windows).
+
+        Finalizes each shard's recorder first, so the last partial
+        window is included.
+        """
+        out = {}
+        for shard in self.shards:
+            tel = shard.telemetry
+            timeline = getattr(tel, "timeline", None) if tel else None
+            if timeline is not None:
+                timeline.finish()
+                out[shard.shard_id] = list(timeline.windows)
+        return out
+
+    def detect_skew(self, series: str = "hit_ratio",
+                    rel_tol: float = 0.25):
+        """Cross-shard skew anomalies over one windowed series."""
+        from repro.obs import detect_shard_skew
+
+        return detect_shard_skew(self.shard_timelines(), series=series,
+                                 rel_tol=rel_tol)
 
     def combined_hit_ratio(self) -> float:
         """Request-weighted hit ratio across all shards."""

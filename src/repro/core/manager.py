@@ -139,6 +139,12 @@ class CacheManager:
                 observe_flash(self.ssd)
                 if hasattr(self.store, "ftl") and self.store is not self.ssd:
                     observe_flash(self.store)
+            observe_stats = getattr(telemetry, "observe_stats", None)
+            if observe_stats is not None:
+                observe_stats(self.stats)
+            observe_occupancy = getattr(telemetry, "observe_occupancy", None)
+            if observe_occupancy is not None:
+                observe_occupancy(self.occupancy)
         else:
             self._tracer = NULL_TRACER
             self._audit = NULL_AUDIT
@@ -198,13 +204,15 @@ class CacheManager:
         if tel is None:
             return self._process_query(query)
         busy0 = tel.busy_snapshot(self.clock)
-        with self._tracer.span("query", qid=self.stats.queries,
+        qid = self.stats.queries
+        with self._tracer.span("query", qid=qid,
                                terms=len(query.key)) as span:
             outcome = self._process_query(query)
             span.set(situation=outcome.situation.name,
                      hit_level=outcome.result_hit_level)
         tel.record_query(outcome.situation.name, outcome.response_us,
-                         busy0, self.clock)
+                         busy0, self.clock, qid=qid,
+                         span_id=getattr(span, "span_id", None))
         return outcome
 
     def _process_query(self, query: Query) -> QueryOutcome:

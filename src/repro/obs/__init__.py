@@ -28,7 +28,7 @@ from repro.obs.audit import (
     format_explanation,
     load_audit_jsonl,
 )
-from repro.obs.cache_metrics import CacheEventMetrics
+from repro.obs.cache_metrics import CacheEventMetrics, CacheStatsMetrics
 from repro.obs.export import (
     load_metrics_json,
     prometheus_text,
@@ -37,14 +37,45 @@ from repro.obs.export import (
     write_telemetry_dir,
 )
 from repro.obs.flash_metrics import FlashDeviceMetrics
-from repro.obs.instruments import DEFAULT_PERCENTILES, Counter, Gauge, Histogram
+from repro.obs.instruments import (
+    DEFAULT_PERCENTILES,
+    GAUGE_MERGE_MODES,
+    Counter,
+    Gauge,
+    Histogram,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import (
     format_stage_breakdown,
     format_stage_comparison,
     stage_summary,
 )
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    Anomaly,
+    SloResult,
+    SloSpec,
+    detect_shard_skew,
+    evaluate_slo,
+    evaluate_slos,
+    parse_slo,
+    run_detectors,
+)
 from repro.obs.telemetry import Telemetry, stage_of_channel
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA,
+    Exemplar,
+    ExemplarStore,
+    Timeline,
+    TimelineRecorder,
+    load_timeline_jsonl,
+    merge_windows,
+    sparkline,
+    steady_state_window,
+    sub_histogram,
+    validate_timeline_jsonl,
+    window_series,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -64,10 +95,33 @@ __all__ = [
     "load_audit_jsonl",
     "explain_subject",
     "format_explanation",
+    "GAUGE_MERGE_MODES",
     "CacheEventMetrics",
+    "CacheStatsMetrics",
     "FlashDeviceMetrics",
     "Telemetry",
     "stage_of_channel",
+    "TIMELINE_SCHEMA",
+    "TimelineRecorder",
+    "Timeline",
+    "Exemplar",
+    "ExemplarStore",
+    "load_timeline_jsonl",
+    "validate_timeline_jsonl",
+    "merge_windows",
+    "sub_histogram",
+    "steady_state_window",
+    "window_series",
+    "sparkline",
+    "SloSpec",
+    "SloResult",
+    "Anomaly",
+    "parse_slo",
+    "evaluate_slo",
+    "evaluate_slos",
+    "run_detectors",
+    "detect_shard_skew",
+    "DEFAULT_SLOS",
     "prometheus_text",
     "write_metrics_json",
     "load_metrics_json",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.events import CacheEvents
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["CacheEventMetrics"]
+__all__ = ["CacheEventMetrics", "CacheStatsMetrics"]
 
 
 class CacheEventMetrics:
@@ -64,3 +64,44 @@ class CacheEventMetrics:
 
     def close(self) -> None:
         self._unsubscribe()
+
+
+class CacheStatsMetrics:
+    """Delta bridge from :class:`~repro.core.stats.CacheStats` to counters.
+
+    The stats object tracks lookup outcomes as plain attributes; this
+    bridge advances registry counters by the delta at each
+    :meth:`collect`, giving the timeline a per-window hit/lookup series:
+
+    * ``cache_result_lookups_total{outcome=l1_hit|l2_hit|miss}``
+    * ``cache_list_lookups_total{outcome=l1_hit|l2_hit|partial_hit|miss}``
+
+    A stats reset (warmup exclusion calls ``CacheStats.reset()``) drops
+    the attribute values below the last sample; the bridge re-baselines,
+    counting only activity after the reset.
+    """
+
+    _SERIES = (
+        ("cache_result_lookups_total", "l1_hit", "result_l1_hits"),
+        ("cache_result_lookups_total", "l2_hit", "result_l2_hits"),
+        ("cache_result_lookups_total", "miss", "result_misses"),
+        ("cache_list_lookups_total", "l1_hit", "list_l1_hits"),
+        ("cache_list_lookups_total", "l2_hit", "list_l2_hits"),
+        ("cache_list_lookups_total", "partial_hit", "list_partial_hits"),
+        ("cache_list_lookups_total", "miss", "list_misses"),
+    )
+
+    def __init__(self, registry: MetricsRegistry, stats) -> None:
+        self.registry = registry
+        self.stats = stats
+        self._last = {attr: 0 for _, _, attr in self._SERIES}
+
+    def collect(self) -> None:
+        """Advance the counters to the stats object's current values."""
+        for name, outcome, attr in self._SERIES:
+            cur = getattr(self.stats, attr)
+            last = self._last[attr]
+            delta = cur - last if cur >= last else cur
+            if delta:
+                self.registry.counter(name, outcome=outcome).inc(delta)
+            self._last[attr] = cur

@@ -2,10 +2,12 @@
 
 A telemetry directory (``repro run --telemetry DIR``) holds::
 
-    spans.jsonl    one span object per line (see repro.obs.tracer)
-    metrics.json   MetricsRegistry.snapshot() (schema repro.obs.metrics/v1)
-    metrics.prom   the same registry as Prometheus text exposition
-    audit.jsonl    the decision audit trail (present when auditing is on)
+    spans.jsonl     one span object per line (see repro.obs.tracer)
+    metrics.json    MetricsRegistry.snapshot() (schema repro.obs.metrics/v1)
+    metrics.prom    the same registry as Prometheus text exposition
+    audit.jsonl     the decision audit trail (present when auditing is on)
+    timeline.jsonl  windowed time series (present when a timeline is
+                    attached; schema repro.obs.timeline/v1)
 
 :func:`validate_telemetry_dir` is the schema check used by both the CI
 smoke job and ``repro report``.
@@ -108,9 +110,14 @@ def write_telemetry_dir(telemetry, out_dir) -> dict:
     audit_records = 0
     if audit is not None and audit.enabled:
         audit_records = audit.export_jsonl(os.path.join(out_dir, "audit.jsonl"))
-    return {"spans": spans, "metrics": len(telemetry.registry),
-            "dropped_spans": telemetry.tracer.dropped,
-            "audit_records": audit_records}
+    summary = {"spans": spans, "metrics": len(telemetry.registry),
+               "dropped_spans": telemetry.tracer.dropped,
+               "audit_records": audit_records}
+    timeline = getattr(telemetry, "timeline", None)
+    if timeline is not None:
+        timeline.export_jsonl(os.path.join(out_dir, "timeline.jsonl"))
+        summary["timeline_windows"] = timeline.emitted
+    return summary
 
 
 def validate_telemetry_dir(out_dir) -> dict:
@@ -157,4 +164,11 @@ def validate_telemetry_dir(out_dir) -> dict:
         from repro.obs.audit import load_audit_jsonl
 
         counts["audit_records"] = len(load_audit_jsonl(audit_path))
+    timeline_path = os.path.join(out_dir, "timeline.jsonl")
+    if os.path.exists(timeline_path):
+        from repro.obs.timeline import validate_timeline_jsonl
+
+        tl = validate_timeline_jsonl(timeline_path)
+        counts["timeline_windows"] = tl["windows"]
+        counts["exemplars"] = tl["exemplars"]
     return counts

@@ -79,14 +79,19 @@ class FlashDeviceMetrics:
             if delta > 0:
                 reg.counter(metric, device=dev).inc(delta)
                 self._last[fld] = now
-        reg.gauge("flash_write_amplification", device=dev).set(
-            stats.write_amplification)
+        # Ratio/projection gauges have no natural cross-shard sum, so
+        # they declare their cluster-merge mode; free_blocks is
+        # occupancy-style and keeps the "sum" default.
+        reg.gauge("flash_write_amplification", merge_mode="last",
+                  device=dev).set(stats.write_amplification)
         reg.gauge("flash_free_blocks", device=dev).set(
             self.ssd.ftl.free_block_count)
         # Wear projections (Fig. 19a / Griffin [3] lifetime argument).
         if self.ssd.ftl.nand.erase_counts.size:
             wear = self.ssd.wear(self.endurance_cycles)
-            reg.gauge("flash_wear_max_erases", device=dev).set(wear.max_erases)
-            reg.gauge("flash_wear_skew", device=dev).set(wear.skew)
-            reg.gauge("flash_lifetime_consumed", device=dev).set(
-                wear.lifetime_consumed)
+            reg.gauge("flash_wear_max_erases", merge_mode="max",
+                      device=dev).set(wear.max_erases)
+            reg.gauge("flash_wear_skew", merge_mode="last",
+                      device=dev).set(wear.skew)
+            reg.gauge("flash_lifetime_consumed", merge_mode="max",
+                      device=dev).set(wear.lifetime_consumed)

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["Counter", "Gauge", "Histogram", "DEFAULT_PERCENTILES"]
+__all__ = ["Counter", "Gauge", "Histogram", "DEFAULT_PERCENTILES",
+           "GAUGE_MERGE_MODES"]
 
 #: The percentile set every latency summary reports.
 DEFAULT_PERCENTILES = (50.0, 90.0, 95.0, 99.0, 99.9)
@@ -43,15 +44,33 @@ class Counter:
         return {"value": self.value}
 
 
-class Gauge:
-    """A point-in-time value (occupancy, utilization, queue depth)."""
+#: Valid :class:`Gauge` cluster-merge modes.
+GAUGE_MERGE_MODES = ("sum", "last", "max", "min")
 
-    __slots__ = ("value",)
+
+class Gauge:
+    """A point-in-time value (occupancy, utilization, queue depth).
+
+    ``merge_mode`` decides what a cluster-level merge means for this
+    gauge.  Occupancy-style gauges (bytes held, queue depth, free
+    blocks) add up across shards, so ``"sum"`` is the default.  Ratio
+    or projection gauges (write amplification, wear skew) have no
+    natural sum; they opt into ``"last"`` (the merged-in reading wins),
+    ``"max"`` or ``"min"``.
+    """
+
+    __slots__ = ("value", "merge_mode")
 
     kind = "gauge"
 
-    def __init__(self) -> None:
+    def __init__(self, merge_mode: str = "sum") -> None:
+        if merge_mode not in GAUGE_MERGE_MODES:
+            raise ValueError(
+                f"unknown gauge merge mode {merge_mode!r}; "
+                f"choose from {GAUGE_MERGE_MODES}"
+            )
         self.value = 0.0
+        self.merge_mode = merge_mode
 
     def set(self, value: float) -> None:
         self.value = value
@@ -63,11 +82,18 @@ class Gauge:
         self.value -= n
 
     def merge(self, other: "Gauge") -> None:
-        """Gauges have no natural sum: the merged-in reading wins."""
-        self.value = other.value
+        """Fold another shard's reading in, per this gauge's merge mode."""
+        if self.merge_mode == "sum":
+            self.value += other.value
+        elif self.merge_mode == "last":
+            self.value = other.value
+        elif self.merge_mode == "max":
+            self.value = max(self.value, other.value)
+        else:  # "min"
+            self.value = min(self.value, other.value)
 
     def snapshot(self) -> dict:
-        return {"value": self.value}
+        return {"value": self.value, "merge_mode": self.merge_mode}
 
 
 class Histogram:
@@ -81,7 +107,7 @@ class Histogram:
     """
 
     __slots__ = ("lo", "growth", "_log_growth", "_counts", "count", "sum",
-                 "min", "max")
+                 "min", "max", "exemplar_sink")
 
     kind = "histogram"
 
@@ -98,6 +124,9 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Optional tail-exemplar capture (see repro.obs.timeline.
+        #: ExemplarStore); None keeps the hot path to one attribute check.
+        self.exemplar_sink = None
 
     # -- recording -----------------------------------------------------------
 
@@ -128,6 +157,8 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.exemplar_sink is not None:
+            self.exemplar_sink.offer(self, value)
 
     def record_many(self, values) -> None:
         for v in values:

@@ -47,8 +47,22 @@ class MetricsRegistry:
     def counter(self, name: str, **tags) -> Counter:
         return self._get_or_create(name, tags, Counter, "counter")
 
-    def gauge(self, name: str, **tags) -> Gauge:
-        return self._get_or_create(name, tags, Gauge, "gauge")
+    def gauge(self, name: str, merge_mode: str | None = None, **tags) -> Gauge:
+        """A gauge at this identity.
+
+        ``merge_mode`` fixes the cluster-merge semantics at creation
+        ("sum" when omitted; see :class:`~repro.obs.instruments.Gauge`).
+        Asking again with a conflicting mode raises.
+        """
+        gauge = self._get_or_create(
+            name, tags, lambda: Gauge(merge_mode=merge_mode or "sum"), "gauge"
+        )
+        if merge_mode is not None and gauge.merge_mode != merge_mode:
+            raise ValueError(
+                f"gauge {name!r} with tags {dict(tags)} already registered "
+                f"with merge_mode={gauge.merge_mode!r}, not {merge_mode!r}"
+            )
+        return gauge
 
     def histogram(self, name: str, lo: float = 0.5, growth: float = 1.04,
                   **tags) -> Histogram:
@@ -80,13 +94,14 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold ``other`` into this registry (counters/histograms sum,
-        gauges take the merged-in reading).  Returns self for chaining."""
+        gauges follow their per-gauge merge mode — "sum" unless they
+        opted into "last"/"max"/"min").  Returns self for chaining."""
         for (name, tag_key), inst in other._metrics.items():
             tags = dict(tag_key)
             if inst.kind == "counter":
                 mine = self.counter(name, **tags)
             elif inst.kind == "gauge":
-                mine = self.gauge(name, **tags)
+                mine = self.gauge(name, merge_mode=inst.merge_mode, **tags)
             else:
                 mine = self.histogram(name, lo=inst.lo, growth=inst.growth,
                                       **tags)

@@ -1,0 +1,272 @@
+"""Declarative SLOs and built-in anomaly detectors over timeline windows.
+
+An SLO is a one-line spec evaluated against the per-window derived
+series the timeline records::
+
+    p99_response_us < 100000 @ 95%
+    hit_ratio >= 0.3 @ 90%
+    write_amp < 3.0
+
+Grammar: ``<series> <op> <threshold> [@ <fraction>%]``, where
+``<series>`` is any derived or raw window series (see
+:func:`~repro.obs.timeline.window_series`), ``<op>`` is one of
+``< <= > >=``, and the optional ``@ N%`` is the *burn-rate budget*:
+the fraction of evaluated windows that must satisfy the comparison for
+the SLO to be met (100% when omitted).  Windows where the series has
+no data are skipped, not failed.
+
+The anomaly detectors are the monitoring playbook the paper's own
+evaluation implies: hit-ratio drift (warmup regression or working-set
+shift), write-amplification spikes (Fig. 13 staged victim search
+degrading to multi-victim assembly), queue buildup (flush path not
+keeping up), and — at the broker level — cross-shard skew (one shard's
+windowed series diverging from the fleet's).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.obs.timeline import window_series
+
+__all__ = [
+    "SloSpec",
+    "SloResult",
+    "Anomaly",
+    "parse_slo",
+    "evaluate_slo",
+    "evaluate_slos",
+    "detect_hit_ratio_drift",
+    "detect_write_amp_spike",
+    "detect_queue_buildup",
+    "detect_shard_skew",
+    "run_detectors",
+    "DEFAULT_SLOS",
+]
+
+_SLO_RE = re.compile(
+    r"^\s*(?P<series>[A-Za-z_][\w{}=,.\-]*)\s*"
+    r"(?P<op><=|>=|<|>)\s*"
+    r"(?P<threshold>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)"
+    r"(?:\s*@\s*(?P<pct>\d+(?:\.\d+)?)\s*%)?\s*$"
+)
+
+_OPS = {
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One parsed SLO line."""
+
+    series: str
+    op: str
+    threshold: float
+    min_fraction: float  # fraction of windows that must pass (0..1]
+    text: str
+
+    def check(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """Evaluation of one SLO over a window sequence."""
+
+    spec: SloSpec
+    windows_evaluated: int
+    windows_passed: int
+    verdict: str  # "met" | "violated" | "no-data"
+    worst_window: int | None = None
+    worst_value: float | None = None
+
+    @property
+    def fraction(self) -> float:
+        if self.windows_evaluated == 0:
+            return 0.0
+        return self.windows_passed / self.windows_evaluated
+
+    def format(self) -> str:
+        if self.verdict == "no-data":
+            return f"?  {self.spec.text}  (no data)"
+        mark = "ok" if self.verdict == "met" else "FAIL"
+        line = (f"{mark:4s} {self.spec.text}  "
+                f"[{self.windows_passed}/{self.windows_evaluated} windows]")
+        if self.verdict == "violated" and self.worst_window is not None:
+            line += (f"  worst: {self.worst_value:g} "
+                     f"at window {self.worst_window}")
+        return line
+
+
+def parse_slo(text: str) -> SloSpec:
+    """Parse one ``<series> <op> <threshold> [@ N%]`` line."""
+    m = _SLO_RE.match(text)
+    if m is None:
+        raise ValueError(
+            f"bad SLO spec {text!r}; expected "
+            f"'<series> <op> <threshold> [@ <fraction>%]' "
+            f"e.g. 'p99_response_us < 100000 @ 95%'"
+        )
+    pct = m.group("pct")
+    frac = float(pct) / 100.0 if pct is not None else 1.0
+    if not 0.0 < frac <= 1.0:
+        raise ValueError(f"SLO fraction must be in (0, 100]%, got {pct}%")
+    return SloSpec(
+        series=m.group("series"),
+        op=m.group("op"),
+        threshold=float(m.group("threshold")),
+        min_fraction=frac,
+        text=" ".join(text.split()),
+    )
+
+
+def evaluate_slo(spec: SloSpec, windows) -> SloResult:
+    """Evaluate one SLO against the window records."""
+    pts = window_series(windows, spec.series)
+    if not pts:
+        return SloResult(spec, 0, 0, "no-data")
+    passed = 0
+    worst_window = worst_value = None
+    for w, v in pts:
+        if spec.check(v):
+            passed += 1
+        else:
+            # "worst" = the failing value farthest past the threshold.
+            miss = abs(v - spec.threshold)
+            if worst_value is None or miss > abs(worst_value - spec.threshold):
+                worst_window, worst_value = w, v
+    verdict = "met" if passed / len(pts) >= spec.min_fraction else "violated"
+    return SloResult(spec, len(pts), passed, verdict,
+                     worst_window=worst_window, worst_value=worst_value)
+
+
+def evaluate_slos(specs, windows) -> list[SloResult]:
+    """Evaluate many SLOs; accepts specs or raw text lines."""
+    out = []
+    for spec in specs:
+        if isinstance(spec, str):
+            spec = parse_slo(spec)
+        out.append(evaluate_slo(spec, windows))
+    return out
+
+
+#: A sane default verdict set for the simulated workloads: tail response
+#: under 100 ms for 95% of windows, cache hit ratio at least 30% once
+#: measurable, write amplification bounded.
+DEFAULT_SLOS = (
+    "p99_response_us < 100000 @ 95%",
+    "hit_ratio >= 0.3 @ 90%",
+    "write_amp < 4.0 @ 95%",
+)
+
+
+# ---------------------------------------------------------------------------
+# Anomaly detectors
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detector firing at one window."""
+
+    detector: str
+    window: int
+    severity: str  # "warn" | "critical"
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.severity}] {self.detector} @ window {self.window}: {self.detail}"
+
+
+def detect_hit_ratio_drift(windows, k: int = 5,
+                           drop: float = 0.15) -> list[Anomaly]:
+    """Hit ratio falling ``drop`` (absolute) below its trailing-k mean."""
+    pts = window_series(windows, "hit_ratio")
+    out = []
+    for i in range(k, len(pts)):
+        trail = sum(v for _, v in pts[i - k:i]) / k
+        w, v = pts[i]
+        if trail - v >= drop:
+            out.append(Anomaly(
+                "hit_ratio_drift", w, "warn",
+                f"hit ratio {v:.3f} dropped {trail - v:.3f} below "
+                f"trailing-{k} mean {trail:.3f}"))
+    return out
+
+
+def detect_write_amp_spike(windows, factor: float = 2.0,
+                           min_wa: float = 1.5) -> list[Anomaly]:
+    """Write amplification jumping ``factor``x over its trailing median."""
+    pts = window_series(windows, "write_amp")
+    out = []
+    for i in range(1, len(pts)):
+        trail = sorted(v for _, v in pts[max(0, i - 5):i])
+        median = trail[len(trail) // 2]
+        w, v = pts[i]
+        if v >= min_wa and median > 0 and v >= factor * median:
+            out.append(Anomaly(
+                "write_amp_spike", w, "critical",
+                f"write amp {v:.2f} is {v / median:.1f}x trailing "
+                f"median {median:.2f}"))
+    return out
+
+
+def detect_queue_buildup(windows, k: int = 3) -> list[Anomaly]:
+    """Queue depth strictly rising across ``k`` consecutive observations."""
+    pts = window_series(windows, "queue_depth")
+    out = []
+    run = 0
+    for i in range(1, len(pts)):
+        if pts[i][1] > pts[i - 1][1]:
+            run += 1
+            if run >= k:
+                w, v = pts[i]
+                out.append(Anomaly(
+                    "queue_buildup", w, "warn",
+                    f"queue depth rose {run} windows in a row to {v:g}"))
+        else:
+            run = 0
+    return out
+
+
+def run_detectors(windows) -> list[Anomaly]:
+    """All single-run detectors, ordered by window."""
+    out = (detect_hit_ratio_drift(windows)
+           + detect_write_amp_spike(windows)
+           + detect_queue_buildup(windows))
+    return sorted(out, key=lambda a: (a.window, a.detector))
+
+
+def detect_shard_skew(shard_windows: dict, series: str = "hit_ratio",
+                      rel_tol: float = 0.25) -> list[Anomaly]:
+    """Cross-shard skew: one shard's windowed mean diverging from the fleet.
+
+    ``shard_windows`` maps shard id -> window records.  A shard is
+    skewed when its mean over ``series`` differs from the *median* of
+    all shard means by more than ``rel_tol`` (relative) — the median,
+    not the mean, so a single lagging shard doesn't drag the reference
+    down and flag every healthy shard with it.
+    """
+    means = {}
+    for sid, windows in shard_windows.items():
+        pts = window_series(windows, series)
+        if pts:
+            means[sid] = sum(v for _, v in pts) / len(pts)
+    if len(means) < 2:
+        return []
+    ranked = sorted(means.values())
+    mid = len(ranked) // 2
+    fleet = (ranked[mid] if len(ranked) % 2
+             else (ranked[mid - 1] + ranked[mid]) / 2.0)
+    out = []
+    for sid, m in sorted(means.items()):
+        if fleet != 0 and abs(m - fleet) / abs(fleet) > rel_tol:
+            out.append(Anomaly(
+                "shard_skew", -1, "warn",
+                f"shard {sid} mean {series} {m:.3f} vs fleet "
+                f"median {fleet:.3f} ({(m - fleet) / fleet:+.0%})"))
+    return out

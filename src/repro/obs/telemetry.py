@@ -20,9 +20,10 @@ per-query sum equals the query's response time.
 from __future__ import annotations
 
 from repro.obs.audit import NULL_AUDIT, AuditLog
-from repro.obs.cache_metrics import CacheEventMetrics
+from repro.obs.cache_metrics import CacheEventMetrics, CacheStatsMetrics
 from repro.obs.flash_metrics import FlashDeviceMetrics
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import ExemplarStore, TimelineRecorder
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Telemetry", "stage_of_channel"]
@@ -60,15 +61,59 @@ class Telemetry:
         self.tracer = Tracer(clock, max_spans=max_spans) if trace else NULL_TRACER
         self.audit = (AuditLog(capacity=audit_capacity, clock=clock)
                       if audit else NULL_AUDIT)
+        self.clock = clock
+        self.timeline: TimelineRecorder | None = None
+        self.exemplars: ExemplarStore | None = None
         self._bridges: list[CacheEventMetrics] = []
         self._flash: list[FlashDeviceMetrics] = []
+        self._stats: list[CacheStatsMetrics] = []
+        self._occupancy: list = []
+        self._exemplar_hists: set[int] = set()
 
     def bind_clock(self, clock) -> None:
         """Late-bind the tracer and audit log to a clock (managers own
         their clock)."""
+        self.clock = clock
         if isinstance(self.tracer, Tracer) and self.tracer.clock is None:
             self.tracer.clock = clock
         self.audit.bind_clock(clock)
+        if self.timeline is not None and self.timeline.clock is None:
+            self.timeline.clock = clock
+
+    def attach_timeline(self, window_us: float = 50_000.0,
+                        stream_path=None, exemplar_q: float = 99.0,
+                        retain: int = 4096) -> TimelineRecorder:
+        """Attach a windowed recorder (and tail-exemplar capture).
+
+        ``window_us`` is the fixed window width on the virtual clock;
+        ``stream_path`` turns on streaming (each window written to
+        ``timeline.jsonl`` the moment it closes); ``exemplar_q`` is the
+        percentile above which query-latency samples capture exemplars.
+        Call before the run starts; the manager ticks the recorder once
+        per query.
+        """
+        if self.timeline is not None:
+            raise RuntimeError("a timeline is already attached")
+        self.exemplars = ExemplarStore(threshold_q=exemplar_q)
+        self.timeline = TimelineRecorder(
+            self.registry, window_us, clock=self.clock, retain=retain,
+            collect=self.collect, exemplars=self.exemplars,
+        )
+        if stream_path is not None:
+            self.timeline.open_stream(stream_path)
+        return self.timeline
+
+    def observe_stats(self, stats) -> CacheStatsMetrics:
+        """Register a :class:`~repro.core.stats.CacheStats` for windowed
+        hit/lookup counters (collected with the other bridges)."""
+        bridge = CacheStatsMetrics(self.registry, stats)
+        self._stats.append(bridge)
+        return bridge
+
+    def observe_occupancy(self, fn) -> None:
+        """Register an occupancy callable (``CacheManager.occupancy``)
+        whose entry/byte counts become sum-merged gauges per collect."""
+        self._occupancy.append(fn)
 
     def observe_cache_events(self, events) -> CacheEventMetrics:
         """Subscribe the registry (and the audit timeline) to a
@@ -94,28 +139,50 @@ class Telemetry:
         return bridge
 
     def collect(self) -> None:
-        """Sample every registered flash device into the registry.
+        """Sample every registered bridge into the registry.
 
         Called by :func:`~repro.obs.export.write_telemetry_dir` before a
-        dump; safe to call repeatedly (counters advance by delta).
+        dump and by the timeline before every window close; safe to call
+        repeatedly (counters advance by delta).
         """
         for bridge in self._flash:
             bridge.collect()
+        for stats_bridge in self._stats:
+            stats_bridge.collect()
+        for fn in self._occupancy:
+            occ = fn()
+            depth = occ.pop("write_buffer", None)
+            if depth is not None:
+                self.registry.gauge("cache_write_buffer_entries").set(depth)
+            for slot, value in occ.items():
+                self.registry.gauge("cache_occupancy", slot=slot).set(value)
 
     def busy_snapshot(self, clock) -> dict[str, float]:
         """Per-channel busy time now; pass to :meth:`record_query` later."""
         return {ch: clock.busy_us(ch) for ch in clock.channels()}
 
     def record_query(self, situation: str, response_us: float,
-                     busy_before: dict[str, float], clock) -> None:
+                     busy_before: dict[str, float], clock,
+                     qid: int | None = None,
+                     span_id: int | None = None) -> None:
         """Attribute one query's response time to stages.
 
         Each device channel's busy-time delta over the query becomes a
         ``stage_latency_us`` sample; the remainder (scoring, software
         overhead) is the ``cpu`` stage, so the stage sums reconcile
-        exactly with total response time.
+        exactly with total response time.  When a timeline is attached,
+        the recorder ticks *before* the samples land — a closing window
+        only ever contains queries that completed within it — and tail
+        samples capture ``(qid, span_id, window)`` exemplars.
         """
         reg = self.registry
+        store = self.exemplars
+        if self.timeline is not None:
+            self.timeline.tick()
+            if store is not None:
+                store.set_context(qid, span_id,
+                                  self.timeline.current_window(),
+                                  clock.now_us)
         devices = 0.0
         for ch in clock.channels():
             stage = stage_of_channel(ch)
@@ -128,13 +195,21 @@ class Telemetry:
         cpu = response_us - devices
         if cpu > 1e-9:
             reg.histogram("stage_latency_us", stage="cpu").record(cpu)
-        reg.histogram("query_latency_us", situation=situation).record(response_us)
+        hist = reg.histogram("query_latency_us", situation=situation)
+        if store is not None and id(hist) not in self._exemplar_hists:
+            store.register(hist, f"query_latency_us{{situation={situation}}}")
+            self._exemplar_hists.add(id(hist))
+        hist.record(response_us)
         reg.counter("queries_total", situation=situation).inc()
+        if store is not None:
+            store.clear_context()
 
     def close(self) -> None:
-        """Detach every event-bus subscription."""
+        """Detach every event-bus subscription and finish the timeline."""
         for bridge in self._bridges:
             bridge.close()
         self._bridges.clear()
+        if self.timeline is not None:
+            self.timeline.finish()
         self.audit.close()
         self.tracer.close_stream()

@@ -1,0 +1,666 @@
+"""Windowed time series over the simulated run: the timeline recorder.
+
+Every metric the registry holds is an end-of-run aggregate; the
+phenomena the paper argues about are *temporal* — SSD cache warmup
+before CBLRU's split pays off, write-amplification spikes when the
+Fig. 13 staged victim search degrades, hit-ratio drift as the query
+mix shifts.  :class:`TimelineRecorder` samples every registry
+instrument into fixed-width virtual-clock windows and produces true
+time series from the same counters the end-of-run report uses:
+
+* **counters** are recorded as per-window *deltas*, so the deltas of
+  any counter sum exactly to its cumulative end-of-run value;
+* **histograms** are recorded as per-window *sub-histograms* (bucket-
+  wise deltas of the cumulative log-bucketed counts), so merging the
+  sub-histograms bucket-wise reproduces the run-level histogram;
+* **gauges** are sampled at each window close (recorded when changed).
+
+Windows are closed *lazily*: the recorder checks the clock at each
+:meth:`tick` (the cache manager ticks once per query) and closes every
+window whose right edge has passed, attributing everything recorded
+since the previous close to the closing window.  Activity is therefore
+quantized at query granularity — a query's samples land in the window
+containing its completion time — while the sum-over-windows identities
+above hold exactly.  Windows with no activity are skipped (*sparse*);
+retained records live in a bounded ring (``retain``), and streaming
+mode writes each window to ``timeline.jsonl`` the moment it closes.
+
+Timeline JSONL schema (``repro.obs.timeline/v1``), one object per line::
+
+    {"type": "header", "schema": "repro.obs.timeline/v1", "window_us": 50000.0}
+    {"type": "window", "window": 3, "start_us": 150000.0, "end_us": 200000.0,
+     "counters": {"queries_total{situation=S1}": 12, ...},
+     "gauges": {"flash_write_amplification{device=ssd-cache}": 1.31, ...},
+     "histograms": {"stage_latency_us{stage=l2}":
+                    {"count": 5, "sum": 123.4, "lo": 0.5, "growth": 1.04,
+                     "buckets": {"17": 3, "18": 2}}, ...},
+     "derived": {"queries": 12, "hit_ratio": 0.81, "p99_response_us": ...}}
+    {"type": "exemplar", "metric": "query_latency_us{situation=S8}",
+     "value_us": 5321.0, "query_id": 17, "span_id": 412, "window": 3,
+     "t_us": 151234.5}
+    {"type": "footer", "windows": 42, "dropped_windows": 0, ...}
+
+**Exemplars** answer *why was this sample slow?*: an
+:class:`ExemplarStore` hooks ``Histogram.record`` (via the instrument's
+``exemplar_sink``) and captures ``(query_id, span_id, window)`` for
+samples landing above a configurable percentile of their own histogram,
+so ``repro explain --query`` can chain a tail latency to its tracer
+span and the audit-trail decisions made inside it.
+
+The **steady-state detector** (:func:`steady_state_window`) is a
+sliding-window mean-stability test on the windowed hit ratio; the bench
+harness uses it to exclude cache warmup from ``BENCH_*.json``
+measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.instruments import Histogram
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "TIMELINE_SCHEMA",
+    "TimelineRecorder",
+    "Timeline",
+    "Exemplar",
+    "ExemplarStore",
+    "series_key",
+    "parse_series_key",
+    "derive_window",
+    "merge_windows",
+    "sub_histogram",
+    "steady_state_window",
+    "window_series",
+    "load_timeline_jsonl",
+    "validate_timeline_jsonl",
+    "sparkline",
+]
+
+TIMELINE_SCHEMA = "repro.obs.timeline/v1"
+
+#: Derived per-window series every consumer can rely on (when their
+#: source instruments exist): see :func:`derive_window`.
+DERIVED_SERIES = ("queries", "hit_ratio", "p50_response_us",
+                  "p99_response_us", "p999_response_us", "write_amp",
+                  "erases", "queue_depth")
+
+
+def series_key(name: str, tags: dict) -> str:
+    """``name{k=v,...}`` with sorted tags; just ``name`` when untagged."""
+    if not tags:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    return f"{name}{{{body}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict]:
+    """Inverse of :func:`series_key`."""
+    if "{" not in key:
+        return key, {}
+    name, _, body = key.partition("{")
+    tags = {}
+    for pair in body.rstrip("}").split(","):
+        if pair:
+            k, _, v = pair.partition("=")
+            tags[k] = v
+    return name, tags
+
+
+# ---------------------------------------------------------------------------
+# Exemplars
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One tail sample worth explaining: value + the trail back to it."""
+
+    metric: str
+    value_us: float
+    query_id: int | None
+    span_id: int | None
+    window: int
+    t_us: float
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "exemplar",
+            "metric": self.metric,
+            "value_us": self.value_us,
+            "query_id": self.query_id,
+            "span_id": self.span_id,
+            "window": self.window,
+            "t_us": self.t_us,
+        }
+
+
+class ExemplarStore:
+    """Captures tail samples from registered histograms.
+
+    A histogram registered via :meth:`register` gets this store as its
+    ``exemplar_sink``: every :meth:`~repro.obs.instruments.Histogram.
+    record` above the ``threshold_q``-th percentile of *that* histogram
+    captures the ambient context (query id, span id, timeline window)
+    set by :meth:`set_context`.  The percentile threshold is cached per
+    histogram and refreshed as the distribution grows, so the hot path
+    is one comparison; the store itself is a bounded ring
+    (``capacity``), counting what it drops.
+    """
+
+    def __init__(self, threshold_q: float = 99.0, min_count: int = 64,
+                 capacity: int = 512) -> None:
+        if not 0.0 < threshold_q < 100.0:
+            raise ValueError("threshold_q must be in (0, 100)")
+        self.threshold_q = threshold_q
+        self.min_count = min_count
+        self.exemplars: deque[Exemplar] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._labels: dict[int, str] = {}
+        self._thresholds: dict[int, tuple[int, float]] = {}
+        self._ctx: tuple[int | None, int | None, int, float] = (None, None,
+                                                                0, 0.0)
+
+    def register(self, hist: Histogram, label: str) -> None:
+        """Attach this store to ``hist`` as its exemplar sink."""
+        hist.exemplar_sink = self
+        self._labels[id(hist)] = label
+
+    def set_context(self, query_id: int | None, span_id: int | None,
+                    window: int, t_us: float) -> None:
+        """The ambient context the next offered samples belong to."""
+        self._ctx = (query_id, span_id, window, t_us)
+
+    def clear_context(self) -> None:
+        self._ctx = (None, None, self._ctx[2], self._ctx[3])
+
+    def offer(self, hist: Histogram, value: float) -> None:
+        """Called by ``Histogram.record``; captures tail samples."""
+        if hist.count < self.min_count:
+            return
+        hid = id(hist)
+        cached = self._thresholds.get(hid)
+        if cached is None or hist.count >= cached[0] + max(64, cached[0] // 2):
+            cached = (hist.count, hist.percentile(self.threshold_q))
+            self._thresholds[hid] = cached
+        if value < cached[1]:
+            return
+        qid, span_id, window, t_us = self._ctx
+        if len(self.exemplars) == self.exemplars.maxlen:
+            self.dropped += 1
+        self.exemplars.append(Exemplar(
+            metric=self._labels.get(hid, "histogram"),
+            value_us=value,
+            query_id=qid,
+            span_id=span_id,
+            window=window,
+            t_us=t_us,
+        ))
+
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.exemplars]
+
+
+# ---------------------------------------------------------------------------
+# The recorder
+# ---------------------------------------------------------------------------
+
+class TimelineRecorder:
+    """Samples a registry into fixed-width virtual-clock windows.
+
+    Call :meth:`tick` at unit-of-work boundaries (the manager ticks
+    once per query, before recording the query's own samples) and
+    :meth:`finish` at the end of the run to close the final partial
+    window.  ``collect`` is an optional callable sampled before every
+    window close (the :class:`~repro.obs.telemetry.Telemetry` bundle
+    passes its bridge-sampling ``collect`` so flash counters and cache
+    hit/lookup counters are current per window).
+    """
+
+    def __init__(self, registry: MetricsRegistry, window_us: float,
+                 clock=None, retain: int = 4096, collect=None,
+                 exemplars: ExemplarStore | None = None) -> None:
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.registry = registry
+        self.window_us = float(window_us)
+        self.clock = clock
+        self.collect = collect
+        self.exemplars = exemplars
+        self.windows: deque[dict] = deque(maxlen=retain)
+        self.dropped_windows = 0
+        self.emitted = 0
+        self._open = 0
+        self._finished = False
+        self._stream = None
+        self._stream_path = None
+        self._last_counters: dict[str, float] = {}
+        self._last_gauges: dict[str, float] = {}
+        self._last_hists: dict[str, tuple[int, float, dict]] = {}
+
+    # -- streaming -----------------------------------------------------------
+
+    @property
+    def streaming(self) -> bool:
+        return self._stream_path is not None
+
+    def open_stream(self, path) -> None:
+        """Write windows to ``path`` as they close (header first)."""
+        if self._stream is not None:
+            raise RuntimeError("timeline is already streaming")
+        self._stream = open(path, "w")
+        self._stream_path = path
+        self._stream.write(json.dumps({
+            "type": "header", "schema": TIMELINE_SCHEMA,
+            "window_us": self.window_us,
+        }) + "\n")
+        for rec in self.windows:
+            self._stream.write(json.dumps(rec) + "\n")
+
+    # -- recording -----------------------------------------------------------
+
+    def current_window(self) -> int:
+        """The window index containing the clock's current time."""
+        return int(self.clock.now_us // self.window_us)
+
+    def tick(self) -> None:
+        """Close every window whose right edge the clock has passed."""
+        idx = int(self.clock.now_us // self.window_us)
+        if idx > self._open:
+            self._close_open_window()
+            self._open = idx
+
+    def finish(self) -> None:
+        """Close the final partial window and the stream (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._close_open_window()
+        if self._stream is not None:
+            if self.exemplars is not None:
+                for rec in self.exemplars.to_dicts():
+                    self._stream.write(json.dumps(rec) + "\n")
+            self._stream.write(json.dumps(self._footer()) + "\n")
+            self._stream.close()
+            self._stream = None
+
+    def _footer(self) -> dict:
+        out = {"type": "footer", "windows": self.emitted,
+               "dropped_windows": self.dropped_windows}
+        if self.exemplars is not None:
+            out["exemplars"] = len(self.exemplars.exemplars)
+            out["dropped_exemplars"] = self.exemplars.dropped
+        return out
+
+    def _close_open_window(self) -> None:
+        if self.collect is not None:
+            self.collect()
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        hists: dict[str, dict] = {}
+        for name, tags, inst in self.registry.items():
+            key = series_key(name, tags)
+            if inst.kind == "counter":
+                prev = self._last_counters.get(key, 0)
+                if inst.value != prev:
+                    counters[key] = inst.value - prev
+                    self._last_counters[key] = inst.value
+            elif inst.kind == "gauge":
+                prev_g = self._last_gauges.get(key)
+                if prev_g is None or inst.value != prev_g:
+                    gauges[key] = inst.value
+                    self._last_gauges[key] = inst.value
+            else:
+                prev_c, prev_s, prev_b = self._last_hists.get(
+                    key, (0, 0.0, {}))
+                if inst.count != prev_c:
+                    delta_b = {
+                        b: c - prev_b.get(b, 0)
+                        for b, c in inst._counts.items()
+                        if c != prev_b.get(b, 0)
+                    }
+                    hists[key] = {
+                        "count": inst.count - prev_c,
+                        "sum": inst.sum - prev_s,
+                        "lo": inst.lo,
+                        "growth": inst.growth,
+                        "buckets": {str(b): c
+                                    for b, c in sorted(delta_b.items())},
+                    }
+                    self._last_hists[key] = (inst.count, inst.sum,
+                                             dict(inst._counts))
+        if not (counters or gauges or hists):
+            return  # sparse: nothing happened in this window
+        rec = {
+            "type": "window",
+            "window": self._open,
+            "start_us": self._open * self.window_us,
+            "end_us": (self._open + 1) * self.window_us,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+        }
+        rec["derived"] = derive_window(rec)
+        self.emitted += 1
+        if len(self.windows) == self.windows.maxlen:
+            self.dropped_windows += 1
+        self.windows.append(rec)
+        if self._stream is not None:
+            self._stream.write(json.dumps(rec) + "\n")
+
+    # -- export --------------------------------------------------------------
+
+    def export_jsonl(self, path) -> int:
+        """Write the retained timeline as JSONL; returns the window count.
+
+        In streaming mode the windows are already on disk; exporting
+        just finalizes the stream (via :meth:`finish`).
+        """
+        self.finish()
+        if self.streaming:
+            return self.emitted
+        with open(path, "w") as fh:
+            fh.write(json.dumps({
+                "type": "header", "schema": TIMELINE_SCHEMA,
+                "window_us": self.window_us,
+            }) + "\n")
+            for rec in self.windows:
+                fh.write(json.dumps(rec) + "\n")
+            if self.exemplars is not None:
+                for rec in self.exemplars.to_dicts():
+                    fh.write(json.dumps(rec) + "\n")
+            fh.write(json.dumps(self._footer()) + "\n")
+        return len(self.windows)
+
+
+# ---------------------------------------------------------------------------
+# Derived series
+# ---------------------------------------------------------------------------
+
+def _sum_matching(mapping: dict, prefix: str) -> float:
+    return sum(v for k, v in mapping.items()
+               if k == prefix or k.startswith(prefix + "{"))
+
+
+def sub_histogram(entry: dict) -> Histogram:
+    """Reconstruct a :class:`Histogram` from a sub-histogram record.
+
+    ``min``/``max`` are approximated by the occupied buckets' bounds,
+    so percentile estimates stay within one bucket width of the values
+    a live per-window histogram would have produced.
+    """
+    h = Histogram(lo=entry.get("lo", 0.5), growth=entry.get("growth", 1.04))
+    buckets = {int(b): c for b, c in entry["buckets"].items()}
+    h._counts = buckets
+    h.count = entry["count"]
+    h.sum = entry["sum"]
+    if buckets:
+        h.min = h.bucket_bounds(min(buckets))[0]
+        h.max = h.bucket_bounds(max(buckets))[1]
+    return h
+
+
+def _merged_response_hist(hists: dict) -> Histogram | None:
+    merged: Histogram | None = None
+    for key, entry in hists.items():
+        if not (key == "query_latency_us"
+                or key.startswith("query_latency_us{")):
+            continue
+        h = sub_histogram(entry)
+        if merged is None:
+            merged = h
+        else:
+            merged.merge(h)
+    return merged if merged is not None and merged.count else None
+
+
+def derive_window(rec: dict) -> dict:
+    """The standard derived series for one window record.
+
+    Computed from the window's own deltas; series whose source
+    instruments are absent are simply omitted.
+    """
+    counters = rec.get("counters", {})
+    gauges = rec.get("gauges", {})
+    hists = rec.get("histograms", {})
+    out: dict = {}
+
+    queries = _sum_matching(counters, "queries_total")
+    if queries:
+        out["queries"] = queries
+
+    hits = lookups = 0.0
+    for name in ("cache_result_lookups_total", "cache_list_lookups_total"):
+        for key, v in counters.items():
+            if not key.startswith(name + "{"):
+                continue
+            lookups += v
+            _, tags = parse_series_key(key)
+            if tags.get("outcome") in ("l1_hit", "l2_hit"):
+                hits += v
+    if lookups:
+        out["hit_ratio"] = hits / lookups
+
+    merged = _merged_response_hist(hists)
+    if merged is not None:
+        out["p50_response_us"] = merged.percentile(50.0)
+        out["p99_response_us"] = merged.percentile(99.0)
+        out["p999_response_us"] = merged.percentile(99.9)
+
+    host = _sum_matching(counters, "flash_host_page_writes_total")
+    gc = _sum_matching(counters, "flash_gc_page_writes_total")
+    if host:
+        out["write_amp"] = (host + gc) / host
+
+    erases = _sum_matching(counters, "flash_erases_total")
+    if erases:
+        out["erases"] = erases
+
+    depth = None
+    for prefix in ("queue_depth", "cache_write_buffer_entries"):
+        matched = [v for k, v in gauges.items()
+                   if k == prefix or k.startswith(prefix + "{")]
+        if matched:
+            depth = sum(matched) if depth is None else depth + sum(matched)
+    if depth is not None:
+        out["queue_depth"] = depth
+    return out
+
+
+def merge_windows(windows, start_window: int | None = None) -> dict:
+    """Fold window records into one aggregate record.
+
+    Counters sum, sub-histograms merge bucket-wise, gauges keep the
+    last observed reading.  ``start_window`` drops windows before it
+    (how the bench harness excludes warmup).  Returns a record-shaped
+    dict whose ``histograms`` values are :class:`Histogram` instances.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    hists: dict[str, Histogram] = {}
+    first = last = None
+    for rec in windows:
+        if rec.get("type", "window") != "window":
+            continue
+        if start_window is not None and rec["window"] < start_window:
+            continue
+        first = rec["window"] if first is None else first
+        last = rec["window"]
+        for key, v in rec.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + v
+        for key, v in rec.get("gauges", {}).items():
+            gauges[key] = v
+        for key, entry in rec.get("histograms", {}).items():
+            h = sub_histogram(entry)
+            if key in hists:
+                hists[key].merge(h)
+            else:
+                hists[key] = h
+    return {"counters": counters, "gauges": gauges, "histograms": hists,
+            "first_window": first, "last_window": last}
+
+
+def window_series(windows, series: str) -> list[tuple[int, float]]:
+    """``(window, value)`` points for one derived (or raw) series."""
+    out: list[tuple[int, float]] = []
+    for rec in windows:
+        if rec.get("type", "window") != "window":
+            continue
+        derived = rec.get("derived") or derive_window(rec)
+        v = derived.get(series)
+        if v is None:
+            for mapping in (rec.get("counters", {}), rec.get("gauges", {})):
+                if series in mapping:
+                    v = mapping[series]
+                    break
+        if v is not None:
+            out.append((rec["window"], v))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Steady-state detection
+# ---------------------------------------------------------------------------
+
+def steady_state_window(windows, series: str = "hit_ratio", k: int = 5,
+                        rel_tol: float = 0.05,
+                        abs_tol: float = 0.02) -> int | None:
+    """Earliest window index where ``series`` is mean-stable.
+
+    The rule (the one the bench harness applies): slide a window of
+    ``k`` consecutive observations over the series; the run is steady
+    from the first position whose spread (max - min) is within
+    ``max(abs_tol, rel_tol * |mean|)``.  Returns None when the series
+    never settles (or has fewer than ``k`` observations).
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    pts = window_series(windows, series)
+    for i in range(len(pts) - k + 1):
+        chunk = [v for _, v in pts[i:i + k]]
+        mean = sum(chunk) / k
+        if max(chunk) - min(chunk) <= max(abs_tol, rel_tol * abs(mean)):
+            return pts[i][0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Loading and validation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Timeline:
+    """A parsed ``timeline.jsonl``: header + windows + exemplars."""
+
+    window_us: float
+    windows: list[dict]
+    exemplars: list[dict]
+    footer: dict | None = None
+
+    def series(self, name: str) -> list[tuple[int, float]]:
+        return window_series(self.windows, name)
+
+    def steady_state(self, **kw) -> int | None:
+        return steady_state_window(self.windows, **kw)
+
+
+def load_timeline_jsonl(path) -> Timeline:
+    """Load and schema-check a timeline file."""
+    windows: list[dict] = []
+    exemplars: list[dict] = []
+    footer = None
+    window_us = None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if lineno == 1:
+                if kind != "header" or rec.get("schema") != TIMELINE_SCHEMA:
+                    raise ValueError(
+                        f"{path}:1: not a {TIMELINE_SCHEMA} header")
+                window_us = rec["window_us"]
+            elif kind == "window":
+                for fld in ("window", "start_us", "end_us", "counters",
+                            "gauges", "histograms"):
+                    if fld not in rec:
+                        raise ValueError(
+                            f"{path}:{lineno}: window missing {fld!r}")
+                if rec["end_us"] <= rec["start_us"]:
+                    raise ValueError(
+                        f"{path}:{lineno}: window ends before it starts")
+                if windows and rec["window"] <= windows[-1]["window"]:
+                    raise ValueError(
+                        f"{path}:{lineno}: window indices must increase")
+                windows.append(rec)
+            elif kind == "exemplar":
+                for fld in ("metric", "value_us", "window"):
+                    if fld not in rec:
+                        raise ValueError(
+                            f"{path}:{lineno}: exemplar missing {fld!r}")
+                exemplars.append(rec)
+            elif kind == "footer":
+                footer = rec
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown record type {kind!r}")
+    if window_us is None:
+        raise ValueError(f"{path}: empty timeline file")
+    return Timeline(window_us=window_us, windows=windows,
+                    exemplars=exemplars, footer=footer)
+
+
+def validate_timeline_jsonl(path) -> dict:
+    """Schema check used by CI; returns summary counts."""
+    tl = load_timeline_jsonl(path)
+    if not tl.windows:
+        raise ValueError(f"{path}: no windows recorded")
+    if tl.footer is not None and tl.footer.get("windows") != len(tl.windows):
+        raise ValueError(
+            f"{path}: footer claims {tl.footer.get('windows')} windows, "
+            f"file holds {len(tl.windows)}")
+    for rec in tl.windows:
+        for key, v in rec["counters"].items():
+            if v < 0:
+                raise ValueError(
+                    f"{path}: negative counter delta for {key} in window "
+                    f"{rec['window']}")
+        for key, entry in rec["histograms"].items():
+            if entry["count"] != sum(entry["buckets"].values()):
+                raise ValueError(
+                    f"{path}: sub-histogram {key} count mismatch in window "
+                    f"{rec['window']}")
+    return {"windows": len(tl.windows), "exemplars": len(tl.exemplars)}
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """An ASCII sparkline; None values render as gaps."""
+    vals = list(values)
+    if len(vals) > width:  # downsample by taking last of each bin
+        step = len(vals) / width
+        vals = [vals[min(len(vals) - 1, int((i + 1) * step) - 1)]
+                for i in range(width)]
+    present = [v for v in vals if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    out = []
+    for v in vals:
+        if v is None:
+            out.append("·")
+        elif span <= 0:
+            out.append(_SPARK_CHARS[4])
+        else:
+            idx = int((v - lo) / span * (len(_SPARK_CHARS) - 2)) + 1
+            out.append(_SPARK_CHARS[min(idx, len(_SPARK_CHARS) - 1)])
+    return "".join(out)

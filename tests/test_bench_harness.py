@@ -58,6 +58,14 @@ def test_scenario_is_deterministic_except_wall_clock(tiny_entry):
     assert first == again
 
 
+def test_scenario_records_measurement_methodology(tiny_entry):
+    meas = tiny_entry["measurement"]
+    assert meas["windows_total"] > 0
+    assert 0 < meas["windows_measured"] <= meas["windows_total"]
+    if meas["steady_window"] is not None:
+        assert isinstance(meas["steady_window"], int)
+
+
 def test_suites_are_registered():
     assert set(SUITES) == {"smoke", "full"}
     names = [s.name for s in SUITES["smoke"]]
@@ -107,6 +115,23 @@ def test_identical_documents_pass(tiny_entry):
     doc = make_doc(tiny_entry)
     assert compare_benches(doc, doc) == []
     assert format_regressions([]) == "no regressions"
+
+
+def test_methodology_mismatch_is_refused(tiny_entry):
+    from repro.bench.harness import METHODOLOGY
+
+    cur = make_doc(tiny_entry)
+    cur["methodology"] = dict(METHODOLOGY)
+    base = make_doc(tiny_entry)  # pre-methodology baseline
+    with pytest.raises(ValueError, match="pre-methodology"):
+        compare_benches(cur, base)
+    # Different window widths measure different things.
+    base["methodology"] = dict(METHODOLOGY, window_us=1.0)
+    with pytest.raises(ValueError, match="methodologies"):
+        compare_benches(cur, base)
+    # Matching methodologies gate normally.
+    base["methodology"] = dict(METHODOLOGY)
+    assert compare_benches(cur, base) == []
 
 
 def test_upward_regression_is_caught(tiny_entry):

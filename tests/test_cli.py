@@ -106,9 +106,30 @@ def test_report_command_reads_telemetry_dir(tmp_path, capsys):
     assert "spans" in out
 
 
-def test_report_command_rejects_bad_dir(tmp_path):
-    with pytest.raises(ValueError):
-        main(["report", str(tmp_path / "nothing")])
+def test_report_command_fails_cleanly_on_missing_dir(tmp_path, capsys):
+    rc = main(["report", str(tmp_path / "nothing")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.out == ""
+    assert "not a usable telemetry directory" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1  # one line, no traceback
+
+
+def test_report_command_fails_cleanly_on_empty_dir(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    rc = main(["report", str(empty)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "not a usable telemetry directory" in captured.err
+
+
+def test_compare_dirs_fails_cleanly_on_bad_dir(tmp_path, capsys):
+    rc = main(["compare", str(tmp_path / "nothing")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "not a usable telemetry directory" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
 
 
 def test_compare_command_prints_stage_breakdown(capsys):
@@ -120,6 +141,7 @@ def test_compare_command_prints_stage_breakdown(capsys):
     stage_section = out.split("per-stage latency by policy", 1)[1]
     for stage in ("l1", "l2", "hdd"):
         assert stage in stage_section
+    assert "hit ratio over time" in out  # the per-policy timeline table
 
 
 def test_compare_command_json_payload(capsys):
@@ -137,6 +159,10 @@ def test_compare_command_json_payload(capsys):
         assert "stage_latency_us" in entry
         assert "ssd-cache" in entry["flash"]
         assert entry["flash"]["ssd-cache"]["flash_erases_total"] >= 0
+    assert set(payload["timeline"]) == {"lru", "cblru", "cbslru"}
+    for entry in payload["timeline"].values():
+        assert entry["windows"] > 0
+        assert entry["hit_ratio"] and entry["p99_response_us"]
 
 
 def test_run_telemetry_reports_flash_and_streams_spans(tmp_path, capsys):
@@ -185,6 +211,110 @@ def test_explain_command_unknown_subject_exits_nonzero(tmp_path, capsys):
 def test_explain_command_requires_audit_file(tmp_path):
     with pytest.raises(SystemExit):
         main(["explain", str(tmp_path), "--term", "1"])
+
+
+def _run_with_timeline(tmp_path, queries="400"):
+    out_dir = tmp_path / "tel"
+    main(["run", "--policy", "cblru", "--docs", "100000",
+          "--queries", queries, "--mem-mb", "2", "--ssd-mb", "8",
+          "--telemetry", str(out_dir), "--timeline", "--window-ms", "20"])
+    return out_dir
+
+
+def test_run_timeline_requires_telemetry(capsys):
+    rc = main(["run", "--queries", "10", "--timeline"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "--timeline requires --telemetry" in captured.err
+
+
+def test_run_timeline_streams_schema_valid_jsonl(tmp_path, capsys):
+    from repro.obs import load_timeline_jsonl, validate_telemetry_dir
+
+    out_dir = _run_with_timeline(tmp_path)
+    out = capsys.readouterr().out
+    assert "timeline:" in out
+    counts = validate_telemetry_dir(out_dir)
+    assert counts["timeline_windows"] > 0
+    tl = load_timeline_jsonl(out_dir / "timeline.jsonl")
+    assert tl.window_us == 20_000.0
+    assert tl.windows
+
+
+def test_timeline_command_renders_sparklines_and_verdicts(tmp_path, capsys):
+    out_dir = _run_with_timeline(tmp_path)
+    capsys.readouterr()
+    rc = main(["timeline", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "timeline:" in out
+    assert "hit_ratio" in out
+    assert "SLOs:" in out
+    assert "anomalies" in out
+    # Custom SLO specs flow through the grammar.
+    rc = main(["timeline", str(out_dir), "--slo", "queries > 0 @ 50%"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "queries > 0 @ 50%" in out
+
+
+def test_timeline_command_fails_cleanly_without_timeline(tmp_path, capsys):
+    rc = main(["timeline", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "not a usable timeline" in captured.err
+
+
+def test_timeline_command_rejects_bad_slo(tmp_path, capsys):
+    out_dir = _run_with_timeline(tmp_path)
+    capsys.readouterr()
+    rc = main(["timeline", str(out_dir), "--slo", "not an slo"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "bad SLO spec" in captured.err
+
+
+def test_compare_dirs_mode_tabulates_saved_runs(tmp_path, capsys):
+    out_dir = _run_with_timeline(tmp_path)
+    capsys.readouterr()
+    rc = main(["compare", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "telemetry dirs" in out
+    assert str(out_dir) in out
+
+
+def test_explain_query_chains_exemplar_to_span_and_audit(tmp_path, capsys):
+    import json
+
+    out_dir = _run_with_timeline(tmp_path, queries="600")
+    capsys.readouterr()
+    exemplars = [
+        json.loads(line)
+        for line in (out_dir / "timeline.jsonl").read_text().splitlines()
+        if json.loads(line).get("type") == "exemplar"
+    ]
+    tied = [e for e in exemplars if e.get("query_id") is not None]
+    assert tied, "run produced no query-tied exemplars"
+    qid = tied[-1]["query_id"]
+    rc = main(["explain", str(out_dir), "--query", str(qid)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"query {qid}:" in out
+    assert "exemplar:" in out
+    assert "query [" in out  # the span tree, rooted at the query span
+
+    rc = main(["explain", str(out_dir), "--query", "999999"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "no tail exemplars" in out
+
+
+def test_explain_query_requires_timeline_dir(tmp_path, capsys):
+    rc = main(["explain", str(tmp_path / "nope"), "--query", "1"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "telemetry directory" in captured.err
 
 
 def test_bench_command_writes_document_and_gates(tmp_path, capsys):

@@ -242,3 +242,74 @@ def test_broker_without_telemetry_aggregates_empty_registry(log):
     for q in log.head(20):
         broker.process_query(q)
     assert len(broker.aggregated_registry()) == 0
+    assert broker.shard_timelines() == {}
+
+
+def _gauges(registry, name):
+    """All (tags, value, merge_mode) for one gauge name."""
+    return [(tags, inst.value, inst.merge_mode)
+            for n, tags, inst in registry.items() if n == name]
+
+
+def test_broker_gauge_merge_modes_across_shards(log):
+    broker = Broker.build(BASE, num_shards=3, cache_config=cache_cfg(),
+                          telemetry=True)
+    for q in log:
+        broker.process_query(q)
+    for shard in broker.shards:
+        shard.telemetry.collect()
+    merged = broker.aggregated_registry()
+
+    # Occupancy-style gauges sum across shards: cluster capacity is the
+    # sum of per-shard capacity.
+    for name in ("cache_write_buffer_entries", "flash_free_blocks"):
+        per_shard = [v for s in broker.shards
+                     for _, v, _ in _gauges(s.telemetry.registry, name)]
+        assert per_shard, f"no {name} gauge on any shard"
+        (tags, value, mode), = _gauges(merged, name)
+        assert mode == "sum"
+        assert value == sum(per_shard)
+
+    # Ratio gauges must NOT sum — write amplification 1.1 on each of
+    # three shards is 1.1, not 3.3.  Mode "last" keeps the final
+    # shard's reading.
+    wa = [v for s in broker.shards
+          for _, v, _ in _gauges(s.telemetry.registry,
+                                 "flash_write_amplification")]
+    assert wa
+    (_, merged_wa, mode), = _gauges(merged, "flash_write_amplification")
+    assert mode == "last"
+    assert merged_wa == wa[-1]
+    assert merged_wa < sum(wa)
+
+    # Wear projections take the worst shard (mode "max").
+    worst = [v for s in broker.shards
+             for _, v, _ in _gauges(s.telemetry.registry,
+                                    "flash_wear_max_erases")]
+    assert worst, "workload produced no SSD erases"
+    (_, merged_wear, mode), = _gauges(merged, "flash_wear_max_erases")
+    assert mode == "max"
+    assert merged_wear == max(worst)
+
+
+def test_broker_shard_timelines_and_skew(log):
+    broker = Broker.build(BASE, num_shards=2, cache_config=cache_cfg(),
+                          timeline_window_us=5_000.0)
+    for q in log.head(200):
+        broker.process_query(q)
+    timelines = broker.shard_timelines()
+    assert set(timelines) == {0, 1}
+    for windows in timelines.values():
+        assert len(windows) > 1
+        # Every shard sees every query, and windowed deltas account
+        # for each one exactly.
+        assert sum(w["derived"].get("queries", 0) for w in windows) == 200
+    # shard_timelines is stable across calls (finish is idempotent).
+    again = broker.shard_timelines()
+    assert {sid: len(w) for sid, w in again.items()} == \
+        {sid: len(w) for sid, w in timelines.items()}
+    # Document-partitioned twins see the same query stream: no skew.
+    assert broker.detect_skew() == []
+    # A generous tolerance never fires; a zero tolerance flags any
+    # difference at all (shards hold different partitions).
+    assert broker.detect_skew(rel_tol=10.0) == []

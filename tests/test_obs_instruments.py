@@ -42,8 +42,39 @@ def test_gauge_set_inc_dec_and_merge():
     assert g.value == 7.0
     other = Gauge()
     other.set(99.0)
-    g.merge(other)  # gauges have no sum: merged-in reading wins
-    assert g.value == 99.0
+    g.merge(other)  # occupancy-style gauges sum across shards
+    assert g.value == 106.0
+
+
+def test_gauge_merge_modes():
+    def pair(mode, a, b):
+        x, y = Gauge(merge_mode=mode), Gauge(merge_mode=mode)
+        x.set(a)
+        y.set(b)
+        x.merge(y)
+        return x.value
+
+    assert pair("sum", 7.0, 99.0) == 106.0
+    assert pair("last", 7.0, 99.0) == 99.0  # merged-in reading wins
+    assert pair("max", 7.0, 99.0) == 99.0
+    assert pair("min", 7.0, 99.0) == 7.0
+    with pytest.raises(ValueError):
+        Gauge(merge_mode="average")
+
+
+def test_registry_gauge_merge_mode_conflict_and_propagation():
+    reg = MetricsRegistry()
+    reg.gauge("wa", merge_mode="last").set(1.5)
+    assert reg.gauge("wa").merge_mode == "last"  # omitted mode: no conflict
+    with pytest.raises(ValueError):
+        reg.gauge("wa", merge_mode="sum")
+    # Registry merge preserves the source gauge's mode on first sight.
+    other = MetricsRegistry()
+    other.gauge("skew", merge_mode="max").set(3.0)
+    reg.merge(other)
+    assert reg.get("skew").merge_mode == "max"
+    assert reg.get("skew").value == 3.0
+    assert reg.get("wa").snapshot() == {"value": 1.5, "merge_mode": "last"}
 
 
 # -- histogram mechanics -----------------------------------------------------
