@@ -94,6 +94,8 @@ def run_scenario(scenario: BenchScenario) -> dict:
         policy=Policy(scenario.policy),
         ttl_us=scenario.ttl_ms * 1000.0,
     )
+    if scenario.arrival != "closed":
+        return _run_open_scenario(scenario, index, log, cfg)
     tel = Telemetry(trace=False, audit=False)
     timeline = tel.attach_timeline(window_us=METHODOLOGY["window_us"])
     t0 = time.perf_counter()
@@ -181,6 +183,77 @@ def run_scenario(scenario: BenchScenario) -> dict:
         stage = tags["stage"]
         for q in _STAGE_QS:
             metrics[f"stage_{stage}_p{q:g}_us"] = inst.percentile(q)
+    return {"config": scenario.to_dict(), "metrics": metrics,
+            "measurement": measurement}
+
+
+def _run_open_scenario(scenario: BenchScenario, index, log, cfg) -> dict:
+    """Open-loop scenario: closed-loop warmup, then kernel-scheduled
+    arrivals.  Response metrics include queueing delay by construction;
+    saturation indicators (shed fraction, peak queue depth, bottleneck
+    utilization) are first-class metrics so the gate catches capacity
+    regressions, not just latency ones."""
+    from repro.core.config import Policy
+    from repro.core.manager import CacheManager, build_hierarchy_for
+    from repro.obs import Telemetry
+    from repro.workloads.openloop import (DiurnalArrivals, PoissonArrivals,
+                                          run_open_loop)
+
+    tel = Telemetry(trace=False, audit=False)
+    timeline = tel.attach_timeline(window_us=METHODOLOGY["window_us"])
+    manager = CacheManager(cfg, build_hierarchy_for(cfg, index), index,
+                           telemetry=tel)
+    if cfg.policy is Policy.CBSLRU and cfg.uses_ssd:
+        manager.warmup_static(log, analyze_queries=scenario.queries // 2)
+    queries = list(log)
+    warm = min(scenario.warmup_queries, max(0, len(queries) - 1))
+    t0 = time.perf_counter()
+    for query in queries[:warm]:
+        manager.process_query(query)
+    manager.stats.reset()
+    if scenario.arrival == "poisson":
+        arrivals = PoissonArrivals(scenario.rate_qps, seed=scenario.seed)
+    elif scenario.arrival == "diurnal":
+        arrivals = DiurnalArrivals(scenario.rate_qps, seed=scenario.seed)
+    else:
+        raise ValueError(f"unknown arrival {scenario.arrival!r}")
+    result = run_open_loop(
+        manager, queries[warm:], arrivals,
+        concurrency=scenario.concurrency, max_queue=scenario.max_queue,
+        label=scenario.name,
+    )
+    wall = time.perf_counter() - t0
+    timeline.finish()
+
+    stats = manager.stats
+    bottleneck = max(result.utilization, key=result.utilization.get,
+                     default=None)
+    metrics: dict = {
+        "mean_response_ms": result.mean_response_us / 1000.0,
+        "throughput_qps": result.throughput_qps,
+        "p99_response_ms": result.p99_us / 1000.0,
+        "p999_response_ms": result.p999_us / 1000.0,
+        "mean_wait_ms": result.mean_wait_us / 1000.0,
+        "reject_fraction": result.reject_fraction,
+        "peak_queue_depth": float(max(
+            result.peak_resource_depth.values(), default=0)),
+        "bottleneck_utilization": (
+            result.utilization[bottleneck] if bottleneck else 0.0),
+        "result_hit_ratio": stats.result_hit_ratio,
+        "list_hit_ratio": stats.list_hit_ratio,
+        "combined_hit_ratio": stats.combined_hit_ratio,
+        "wall_clock_s": wall,
+    }
+    measurement = {
+        "arrival": scenario.arrival,
+        "offered_qps": scenario.rate_qps,
+        "warmup_queries": warm,
+        "measured_queries": len(queries) - warm,
+        "completed": result.completed,
+        "rejected": result.rejected,
+        "bottleneck": bottleneck,
+        "windows_total": len(timeline.windows),
+    }
     return {"config": scenario.to_dict(), "metrics": metrics,
             "measurement": measurement}
 

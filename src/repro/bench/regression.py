@@ -49,6 +49,14 @@ class Regression:
 DEFAULT_THRESHOLDS: dict[str, Threshold] = {
     "mean_response_ms": Threshold("up", 0.05),
     "throughput_qps": Threshold("down", 0.05),
+    # Open-loop (kernel) saturation metrics: tails and waits move more
+    # than means under contention, so their gates are looser.
+    "p99_response_ms": Threshold("up", 0.10),
+    "p999_response_ms": Threshold("up", 0.10),
+    "mean_wait_ms": Threshold("up", 0.15, abs_tol=0.5),
+    "reject_fraction": Threshold("up", 0.10, abs_tol=0.02),
+    "peak_queue_depth": Threshold("up", 0.25, abs_tol=2.0),
+    "bottleneck_utilization": Threshold("up", 0.05, abs_tol=0.02),
     "result_hit_ratio": Threshold("down", 0.02, abs_tol=0.005),
     "list_hit_ratio": Threshold("down", 0.02, abs_tol=0.005),
     "combined_hit_ratio": Threshold("down", 0.02, abs_tol=0.005),

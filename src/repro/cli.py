@@ -72,6 +72,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--three-level", action="store_true",
                    help="enable the intersection cache (Long & Suel [19])")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--arrival", choices=("closed", "poisson", "diurnal"),
+                   default="closed",
+                   help="arrival process: closed-loop replay (default) or "
+                        "open-loop Poisson/diurnal arrivals on the "
+                        "discrete-event kernel")
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="max in-flight queries (closed: number of "
+                        "closed-loop clients; open-loop: admission limit)")
+    p.add_argument("--rate-qps", type=float, default=None,
+                   help="offered arrival rate (poisson) or peak rate "
+                        "(diurnal); required for open-loop arrivals")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission wait-queue bound; arrivals beyond "
+                        "concurrency + max-queue are shed (open-loop)")
+    p.add_argument("--cpu-lanes", type=int, default=1,
+                   help="CPU units per server for the kernel's scoring "
+                        "resource")
+    p.add_argument("--diurnal-period-s", type=float, default=10.0,
+                   help="compressed diurnal cycle length in simulated "
+                        "seconds")
+    p.add_argument("--diurnal-floor", type=float, default=0.2,
+                   help="night-time rate as a fraction of the peak")
     p.add_argument("--telemetry", type=str, default=None, metavar="DIR",
                    help="collect spans + metrics and write them to DIR "
                         "(spans.jsonl, metrics.json, metrics.prom)")
@@ -144,7 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench",
                        help="run a deterministic benchmark suite and emit "
                             "BENCH_<n>.json")
-    p.add_argument("--suite", choices=("smoke", "full"), default="smoke")
+    p.add_argument("--suite", choices=("smoke", "full", "saturation"),
+                   default="smoke")
     p.add_argument("--out", type=str, default=None,
                    help="output path (default: next free BENCH_<n>.json)")
     p.add_argument("--against", type=str, default=None, metavar="PREV.json",
@@ -260,8 +283,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
         manager = CacheManager(cfg, hierarchy, index, telemetry=telemetry)
     if cfg.policy is Policy.CBSLRU and cfg.uses_ssd:
         manager.warmup_static(log)
-    for query in log:
-        manager.process_query(query)
+
+    if args.concurrency < 1:
+        print("error: --concurrency must be >= 1", file=sys.stderr)
+        return 2
+    open_result = None
+    if args.arrival == "closed" and args.concurrency == 1:
+        # The seed's synchronous loop, byte-for-byte (golden parity).
+        for query in log:
+            manager.process_query(query)
+    elif args.arrival == "closed":
+        # N closed-loop clients: each issues its next query the moment
+        # its previous one completes, contending through the kernel.
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel(manager.clock)
+        manager.hierarchy.attach_kernel(kernel, cpu_lanes=args.cpu_lanes)
+        if telemetry is not None:
+            telemetry.observe_kernel(kernel)
+        pending = iter(list(log))
+
+        def client():
+            for query in pending:
+                manager.process_query(query)
+
+        for i in range(args.concurrency):
+            kernel.spawn(client, name=f"client{i}")
+        try:
+            kernel.run()
+        finally:
+            manager.clock.bind_kernel(None)
+    else:
+        from repro.workloads.openloop import (DiurnalArrivals,
+                                              PoissonArrivals,
+                                              run_open_loop)
+
+        if args.rate_qps is None or args.rate_qps <= 0:
+            print("error: open-loop arrivals need --rate-qps > 0",
+                  file=sys.stderr)
+            return 2
+        if args.arrival == "poisson":
+            arrivals = PoissonArrivals(args.rate_qps, seed=args.seed)
+        else:
+            arrivals = DiurnalArrivals(
+                args.rate_qps, period_s=args.diurnal_period_s,
+                floor_fraction=args.diurnal_floor, seed=args.seed)
+        open_result = run_open_loop(
+            manager, list(log), arrivals,
+            concurrency=args.concurrency, max_queue=args.max_queue,
+            cpu_lanes=args.cpu_lanes,
+            label=f"{args.policy}-{args.arrival}",
+        )
 
     stats = manager.stats
     rows = [
@@ -281,6 +353,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows.append(["intersection hits", inter.hits])
     print(format_table(["metric", "value"], rows,
                        title=f"{args.policy.upper()} on {args.docs:,} docs"))
+    if open_result is not None:
+        r = open_result
+        bottleneck = max(r.utilization, key=r.utilization.get, default=None)
+        open_rows = [
+            ["arrival process", r.arrival],
+            ["offered rate", f"{r.offered_qps:.1f} q/s"],
+            ["served throughput", f"{r.throughput_qps:.1f} q/s"],
+            ["arrived / completed / shed",
+             f"{r.arrived} / {r.completed} / {r.rejected}"],
+            ["mean response", f"{r.mean_response_us / 1000:.2f} ms"],
+            ["p99 / p999 response",
+             f"{r.p99_us / 1000:.2f} / {r.p999_us / 1000:.2f} ms"],
+            ["mean admission wait", f"{r.mean_wait_us / 1000:.2f} ms"],
+            ["peak in-flight", r.peak_inflight],
+        ]
+        if bottleneck is not None:
+            open_rows.append(
+                ["bottleneck",
+                 f"{bottleneck} ({r.utilization[bottleneck]:.0%} busy, "
+                 f"peak queue {r.peak_resource_depth[bottleneck]})"])
+        print()
+        print(format_table(
+            ["metric", "value"], open_rows,
+            title=f"open-loop @ {r.offered_qps:g} q/s, "
+                  f"concurrency {r.concurrency}"))
     if telemetry is not None:
         from repro.obs import format_stage_breakdown, write_telemetry_dir
 
@@ -761,11 +858,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     write_bench(doc, out)
     for name, entry in doc["scenarios"].items():
         m = entry["metrics"]
-        print(f"  {name:<16s} {m['mean_response_ms']:8.2f} ms/q "
-              f"{m['throughput_qps']:8.1f} q/s "
-              f"hit {m['combined_hit_ratio']:6.1%} "
-              f"erases {m['ssd_erases']:5d} "
-              f"({m['wall_clock_s']:.1f} s wall)")
+        if "reject_fraction" in m:  # open-loop saturation scenario
+            print(f"  {name:<16s} {m['mean_response_ms']:8.2f} ms/q "
+                  f"{m['throughput_qps']:8.1f} q/s "
+                  f"p999 {m['p999_response_ms']:8.1f} ms "
+                  f"shed {m['reject_fraction']:6.1%} "
+                  f"util {m['bottleneck_utilization']:5.1%} "
+                  f"({m['wall_clock_s']:.1f} s wall)")
+        else:
+            print(f"  {name:<16s} {m['mean_response_ms']:8.2f} ms/q "
+                  f"{m['throughput_qps']:8.1f} q/s "
+                  f"hit {m['combined_hit_ratio']:6.1%} "
+                  f"erases {m['ssd_erases']:5d} "
+                  f"({m['wall_clock_s']:.1f} s wall)")
     print(f"wrote {out}")
     if args.against:
         baseline = load_bench(args.against)

@@ -102,6 +102,7 @@ class Broker:
         merge_overhead_us: float = 200.0,
         telemetry: bool = False,
         timeline_window_us: float | None = None,
+        shared_clock: bool = False,
     ) -> "Broker":
         """Partition ``corpus`` and assemble a cluster of cached shards.
 
@@ -111,10 +112,20 @@ class Broker:
         registries with :meth:`aggregated_registry`.
         ``timeline_window_us`` additionally attaches a windowed recorder
         per shard (implies telemetry), enabling :meth:`shard_timelines`
-        and :meth:`detect_skew`.
+        and :meth:`detect_skew`.  ``shared_clock=True`` puts every shard
+        on one simulated timeline (device names gain ``#<shard>``
+        suffixes) — required for :meth:`run_open_loop`'s concurrent
+        fan-out, incompatible with the sequential :meth:`process_query`
+        accounting (which sums per-shard times instead of overlapping
+        them).
         """
         from repro.cluster.shard import partition_corpus
 
+        clock = None
+        if shared_clock:
+            from repro.sim.clock import VirtualClock
+
+            clock = VirtualClock()
         partitions = partition_corpus(corpus, num_shards)
         shards = []
         for i, stats in enumerate(partitions):
@@ -125,7 +136,8 @@ class Broker:
                 tel = Telemetry(trace=False)
                 if timeline_window_us is not None:
                     tel.attach_timeline(window_us=timeline_window_us)
-            shards.append(IndexShard(i, stats, cache_config, telemetry=tel))
+            shards.append(IndexShard(i, stats, cache_config, telemetry=tel,
+                                     clock=clock))
         return cls(shards, merge_overhead_us=merge_overhead_us)
 
     def warmup_static(self, log: QueryLog, analyze_queries: int | None = None) -> None:
@@ -167,6 +179,108 @@ class Broker:
             response_us=response,
             shard_times_us=tuple(times),
             shard_result_hits=hits,
+        )
+
+    def run_open_loop(
+        self,
+        queries,
+        arrivals,
+        concurrency: int = 4,
+        max_queue: int = 64,
+        cpu_lanes: int = 1,
+        label: str = "cluster",
+    ):
+        """Serve ``queries`` open-loop with concurrent shard fan-out.
+
+        Requires a cluster built with ``shared_clock=True``.  Each
+        admitted query spawns one kernel subtask per shard, joins them
+        (fan-out max emerges from the join, stragglers and all), then
+        pays the merge cost on a ``broker`` CPU resource.  Returns an
+        :class:`~repro.workloads.openloop.OpenLoopResult`.
+        """
+        from repro.sim.kernel import AdmissionControl, Kernel
+        from repro.workloads.openloop import (OpenLoopResult,
+                                              schedule_arrivals)
+
+        queries = list(queries)
+        if not queries:
+            raise ValueError("no queries to serve")
+        clock = self.shards[0].manager.clock
+        for shard in self.shards[1:]:
+            if shard.manager.clock is not clock:
+                raise ValueError(
+                    "open-loop fan-out needs Broker.build(shared_clock=True)"
+                )
+        kernel = Kernel(clock)
+        for shard in self.shards:
+            shard.manager.hierarchy.attach_kernel(kernel, cpu_lanes=cpu_lanes)
+        kernel.add_resource("broker", lanes=max(1, cpu_lanes))
+        admission = AdmissionControl(kernel, max_inflight=concurrency,
+                                     max_queue=max_queue)
+
+        start_us = clock.now_us
+        responses: list[float] = []
+        waits: list[float] = []
+
+        def submit(i: int, arrival_us: float) -> None:
+            query = queries[i]
+
+            def body():
+                begin = clock.now_us
+                subtasks = [
+                    kernel.spawn(
+                        lambda s=shard: s.process_query(query),
+                        name=f"q{i}s{shard.shard_id}",
+                    )
+                    for shard in self.shards
+                ]
+                for t in subtasks:
+                    t.join()
+                clock.consume("broker", self.merge_overhead_us)
+                waits.append(begin - arrival_us)
+                responses.append(clock.now_us - arrival_us)
+
+            admission.submit(body, name=f"q{i}")
+
+        schedule_arrivals(kernel, arrivals, len(queries), submit)
+        try:
+            kernel.run()
+            admission.check_invariants()
+        finally:
+            clock.bind_kernel(None)
+
+        duration = clock.now_us - start_us
+        if responses:
+            from repro.obs.instruments import Histogram
+
+            hist = Histogram(lo=1.0, growth=1.02)
+            hist.record_many(responses)
+            p50, p90, p99, p999 = hist.percentiles((50.0, 90.0, 99.0, 99.9))
+        else:
+            p50 = p90 = p99 = p999 = 0.0
+        mean = (sum(responses) / len(responses)) if responses else 0.0
+        offered = getattr(arrivals, "rate_qps",
+                          getattr(arrivals, "peak_qps", 0.0))
+        return OpenLoopResult(
+            label=label,
+            arrival=getattr(arrivals, "kind", type(arrivals).__name__),
+            offered_qps=float(offered),
+            concurrency=concurrency,
+            duration_us=duration,
+            arrived=admission.stats.arrived,
+            completed=admission.stats.completed,
+            rejected=admission.stats.rejected,
+            mean_response_us=mean,
+            p50_us=p50,
+            p90_us=p90,
+            p99_us=p99,
+            p999_us=p999,
+            mean_wait_us=(sum(waits) / len(waits)) if waits else 0.0,
+            peak_inflight=admission.peak_depth,
+            peak_resource_depth={r.name: r.peak_depth
+                                 for r in kernel.resources()},
+            utilization={r.name: r.utilization(duration)
+                         for r in kernel.resources()},
         )
 
     # -- reporting ---------------------------------------------------------

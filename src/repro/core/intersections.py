@@ -205,7 +205,7 @@ class ThreeLevelCacheManager(CacheManager):
         cpu = (costs.fixed_us
                + costs.per_posting_us * (remaining_postings + inter_postings)
                + costs.per_result_us * self.processor.top_k)
-        self.clock.advance(cpu)
+        self.clock.consume(self.hierarchy.cpu_channel, cpu, charge=False)
         self.processor.execute(plan, materialize=self.materialize_results)
         entry = CachedResult(
             query_key=query.key,
@@ -237,7 +237,9 @@ class ThreeLevelCacheManager(CacheManager):
             entry = self._intersection_for(pair)
             # Merging costs one pass over both traversed prefixes.
             merge_postings = by_term[pair[0]].postings + by_term[pair[1]].postings
-            self.clock.advance(self.processor.costs.per_posting_us * merge_postings)
+            self.clock.consume(self.hierarchy.cpu_channel,
+                               self.processor.costs.per_posting_us * merge_postings,
+                               charge=False)
             self.intersections.insert(entry)
 
     def occupancy(self) -> dict:

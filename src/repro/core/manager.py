@@ -60,12 +60,17 @@ def build_hierarchy_for(
     memory_bytes: int | None = None,
     flash_overrides: dict | None = None,
     seed: int = 0,
+    clock=None,
+    device_suffix: str = "",
 ) -> StorageHierarchy:
     """Build a storage hierarchy sized for a cache configuration.
 
     The SSD's flash geometry is derived from the cache-file size plus
     ~12 % over-provisioning, so garbage collection has realistic headroom
-    regardless of the experiment's cache capacity.
+    regardless of the experiment's cache capacity.  ``clock`` and
+    ``device_suffix`` let several hierarchies (cluster shards under the
+    concurrency kernel) share one simulated timeline with distinct
+    device/channel names.
     """
     overrides = dict(flash_overrides or {})
     op = overrides.pop("overprovision", 0.12)
@@ -91,6 +96,8 @@ def build_hierarchy_for(
             index_ssd_config=index_ssd_cfg,
         ),
         seed=seed,
+        clock=clock,
+        device_suffix=device_suffix,
     )
 
 
@@ -251,7 +258,11 @@ class CacheManager:
             used_ssd |= src_ssd
             used_hdd |= src_hdd
 
-        self.clock.advance(self.processor.cpu_time_us(plan))
+        # charge=False: CPU attribution stays the response-time residual
+        # (stage histograms derive it), but under a kernel the scoring
+        # work still contends for the shard's CPU lanes.
+        self.clock.consume(self.hierarchy.cpu_channel,
+                           self.processor.cpu_time_us(plan), charge=False)
         self.processor.execute(plan, materialize=self.materialize_results)
         entry = CachedResult(
             query_key=query.key,

@@ -39,6 +39,12 @@ class FlashConfig:
         of N pages completes in ceil(N / channels) page times, matching
         the multi-channel controllers of the paper's Intel SSD 320 class.
         Single-page operations and GC copy-back stay serial.
+    planes_per_channel:
+        NAND planes per channel.  Striping (``channels``) models how one
+        large transfer is split; ``channels * planes_per_channel`` is the
+        number of *independent host requests* the device can service at
+        once — the lane count the discrete-event kernel uses for the
+        device's service queue.
     gc_free_block_threshold:
         Garbage collection starts when the number of free blocks drops to
         this value.  Must be >= 1 so a copy destination always exists.
@@ -52,6 +58,7 @@ class FlashConfig:
     write_us: float = 101.475
     erase_us: float = 1500.0
     channels: int = 4
+    planes_per_channel: int = 1
     gc_free_block_threshold: int = 2
     name: str = field(default="table3", compare=False)
 
@@ -68,6 +75,8 @@ class FlashConfig:
             raise ValueError("latencies must be non-negative")
         if self.channels < 1:
             raise ValueError("channels must be >= 1")
+        if self.planes_per_channel < 1:
+            raise ValueError("planes_per_channel must be >= 1")
         if self.gc_free_block_threshold < 1:
             raise ValueError("gc_free_block_threshold must be >= 1")
 

@@ -60,6 +60,14 @@ class NandArray:
     def offset_of(self, ppn: int) -> int:
         return ppn % self.config.pages_per_block
 
+    def channel_of(self, block: int) -> int:
+        """Flash channel serving ``block`` (blocks stripe round-robin)."""
+        return block % self.config.channels
+
+    def plane_of(self, block: int) -> int:
+        """Plane within the channel serving ``block``."""
+        return (block // self.config.channels) % self.config.planes_per_channel
+
     def _check_ppn(self, ppn: int) -> None:
         if not 0 <= ppn < self.config.total_pages:
             raise IndexError(f"ppn {ppn} out of range [0, {self.config.total_pages})")

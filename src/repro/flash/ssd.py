@@ -86,6 +86,12 @@ class SimulatedSSD:
     # -- capacity ------------------------------------------------------------
 
     @property
+    def service_lanes(self) -> int:
+        """Concurrent host requests the device can serve: one per
+        channel x plane pair (the kernel's lane count for this device)."""
+        return self.config.channels * self.config.planes_per_channel
+
+    @property
     def capacity_bytes(self) -> int:
         """User-visible capacity."""
         return self.config.logical_bytes
@@ -125,8 +131,7 @@ class SimulatedSSD:
         self.counters.add("read_ops", nbytes)
         self.counters.add("read_pages", 0.0, n=len(pages))
         self.counters.add("access_time_us", latency)
-        self.clock.advance(latency)
-        self.clock.charge(self.name, latency)
+        self.clock.consume(self.name, latency)
         if self.tracer is not None:
             now = self.clock.now_us
             self.tracer.record(f"{self.name}.read", now - latency, now,
@@ -149,8 +154,7 @@ class SimulatedSSD:
         self.counters.add("write_ops", nbytes)
         self.counters.add("write_pages", 0.0, n=len(pages))
         self.counters.add("access_time_us", latency)
-        self.clock.advance(latency)
-        self.clock.charge(self.name, latency)
+        self.clock.consume(self.name, latency)
         if tr is not None:
             # FTL activity rides on the span: GC erases triggered by this
             # host write show up as an attribute, not a guess.
@@ -180,8 +184,7 @@ class SimulatedSSD:
                     latency += self.ftl.trim(lpn)
         self.counters.add("trim_ops", nbytes)
         self.counters.add("access_time_us", latency)
-        self.clock.advance(latency)
-        self.clock.charge(self.name, latency)
+        self.clock.consume(self.name, latency)
         return latency
 
     def idle_collect(self, budget_us: float) -> float:

@@ -46,6 +46,11 @@ class SimulatedHDD:
         self._head_lba = 0
 
     @property
+    def service_lanes(self) -> int:
+        """A single actuator: the kernel queue *is* the seek queue."""
+        return 1
+
+    @property
     def capacity_bytes(self) -> int:
         return self.geometry.capacity_bytes
 
@@ -81,8 +86,7 @@ class SimulatedHDD:
         latency = self._service_time_us(lba, nbytes)
         self.counters.add("read_ops", nbytes)
         self.counters.add("access_time_us", latency)
-        self.clock.advance(latency)
-        self.clock.charge(self.name, latency)
+        self.clock.consume(self.name, latency)
         if self.tracer is not None:
             now = self.clock.now_us
             self.tracer.record(f"{self.name}.read", now - latency, now,
@@ -94,8 +98,7 @@ class SimulatedHDD:
         latency = self._service_time_us(lba, nbytes)
         self.counters.add("write_ops", nbytes)
         self.counters.add("access_time_us", latency)
-        self.clock.advance(latency)
-        self.clock.charge(self.name, latency)
+        self.clock.consume(self.name, latency)
         if self.tracer is not None:
             now = self.clock.now_us
             self.tracer.record(f"{self.name}.write", now - latency, now,

@@ -37,6 +37,7 @@ from repro.obs.export import (
     write_telemetry_dir,
 )
 from repro.obs.flash_metrics import FlashDeviceMetrics
+from repro.obs.kernel_metrics import KernelMetrics
 from repro.obs.instruments import (
     DEFAULT_PERCENTILES,
     GAUGE_MERGE_MODES,
@@ -99,6 +100,7 @@ __all__ = [
     "CacheEventMetrics",
     "CacheStatsMetrics",
     "FlashDeviceMetrics",
+    "KernelMetrics",
     "Telemetry",
     "stage_of_channel",
     "TIMELINE_SCHEMA",

@@ -1,0 +1,84 @@
+"""Kernel telemetry: service-queue and admission state bridged into a registry.
+
+The discrete-event kernel (:mod:`repro.sim.kernel`) already tracks what
+saturation analysis needs — per-resource queue depths, served counts,
+busy time, admission shed counts — but on its own objects.
+:class:`KernelMetrics` samples them into the shared
+:class:`~repro.obs.registry.MetricsRegistry`:
+
+================================== ======= ==============================
+metric                             kind    source
+================================== ======= ==============================
+``queue_depth{resource=...}``      gauge   ``Resource.depth`` per resource
+``queue_depth{resource=admission}`` gauge  jobs admitted but unfinished
+``inflight_queries``               gauge   ``AdmissionControl.inflight``
+``kernel_served_total{resource}``  counter ``Resource.served``
+``kernel_busy_us_total{resource}`` counter ``Resource.busy_us``
+``arrivals_total``                 counter ``AdmissionStats.arrived``
+``admission_rejected_total``       counter ``AdmissionStats.rejected``
+``admission_completed_total``      counter ``AdmissionStats.completed``
+================================== ======= ==============================
+
+The ``queue_depth`` gauges matter most: the timeline recorder's derived
+``queue_depth`` series sums every gauge with that prefix, so the
+queue-buildup detector (:func:`repro.obs.slo.detect_queue_buildup`)
+watches *emergent* backlogs instead of a model.  Counters advance by
+delta per :meth:`collect`, matching the other bridges, so repeated
+sampling and cluster merges stay correct.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["KernelMetrics"]
+
+
+class KernelMetrics:
+    """Samples a kernel (and optional admission control) into a registry.
+
+    Purely observational — reading depths and counts never perturbs the
+    schedule.
+    """
+
+    def __init__(self, registry: MetricsRegistry, kernel,
+                 admission=None) -> None:
+        self.registry = registry
+        self.kernel = kernel
+        self.admission = admission
+        self._served: dict[str, int] = {}
+        self._busy: dict[str, float] = {}
+        self._arrived = 0
+        self._rejected = 0
+        self._completed = 0
+
+    def collect(self) -> None:
+        reg = self.registry
+        for res in self.kernel.resources():
+            reg.gauge("queue_depth", resource=res.name).set(res.depth)
+            prev = self._served.get(res.name, 0)
+            if res.served > prev:
+                reg.counter("kernel_served_total", resource=res.name).inc(
+                    res.served - prev
+                )
+                self._served[res.name] = res.served
+            prev_busy = self._busy.get(res.name, 0.0)
+            if res.busy_us > prev_busy:
+                reg.counter("kernel_busy_us_total", resource=res.name).inc(
+                    res.busy_us - prev_busy
+                )
+                self._busy[res.name] = res.busy_us
+        ad = self.admission
+        if ad is None:
+            return
+        reg.gauge("queue_depth", resource="admission").set(ad.depth)
+        reg.gauge("inflight_queries").set(ad.inflight)
+        s = ad.stats
+        for attr, name in (("arrived", "arrivals_total"),
+                           ("rejected", "admission_rejected_total"),
+                           ("completed", "admission_completed_total")):
+            value = getattr(s, attr)
+            prev = getattr(self, f"_{attr}")
+            if value > prev:
+                reg.counter(name).inc(value - prev)
+                setattr(self, f"_{attr}", value)

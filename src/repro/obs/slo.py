@@ -215,8 +215,15 @@ def detect_write_amp_spike(windows, factor: float = 2.0,
     return out
 
 
-def detect_queue_buildup(windows, k: int = 3) -> list[Anomaly]:
-    """Queue depth strictly rising across ``k`` consecutive observations."""
+def detect_queue_buildup(windows, k: int = 3,
+                         critical_k: int = 6) -> list[Anomaly]:
+    """Queue depth strictly rising across ``k`` consecutive observations.
+
+    A run of ``k`` flags a ``warn``; a run reaching ``critical_k``
+    escalates to ``critical`` — the unbounded-backlog signature of an
+    open-loop arrival rate past the capacity knee, which strict timeline
+    gating (``repro timeline --strict``) turns into a failure.
+    """
     pts = window_series(windows, "queue_depth")
     out = []
     run = 0
@@ -225,8 +232,9 @@ def detect_queue_buildup(windows, k: int = 3) -> list[Anomaly]:
             run += 1
             if run >= k:
                 w, v = pts[i]
+                severity = "critical" if run >= critical_k else "warn"
                 out.append(Anomaly(
-                    "queue_buildup", w, "warn",
+                    "queue_buildup", w, severity,
                     f"queue depth rose {run} windows in a row to {v:g}"))
         else:
             run = 0

@@ -33,16 +33,20 @@ def stage_of_channel(channel: str) -> str | None:
     """Map a clock busy channel to a query stage.
 
     Background channels (``*-bg``, overlapped GC) are not part of any
-    query's response time and map to None.
+    query's response time and map to None.  Cluster shards on a shared
+    clock suffix their devices with ``#<shard>`` (``dram#2``); the
+    suffix is stripped so every shard's channels land on the same
+    stages.
     """
     if channel.endswith("-bg"):
         return None
+    base = channel.split("#", 1)[0]
     return {
         "dram": "l1",
         "ssd-cache": "l2",
         "index-hdd": "hdd",
         "index-ssd": "store-ssd",
-    }.get(channel, channel)
+    }.get(base, base)
 
 
 class Telemetry:
@@ -66,6 +70,7 @@ class Telemetry:
         self.exemplars: ExemplarStore | None = None
         self._bridges: list[CacheEventMetrics] = []
         self._flash: list[FlashDeviceMetrics] = []
+        self._kernels: list = []
         self._stats: list[CacheStatsMetrics] = []
         self._occupancy: list = []
         self._exemplar_hists: set[int] = set()
@@ -124,6 +129,21 @@ class Telemetry:
             self.audit.observe_events(events)
         return bridge
 
+    def observe_kernel(self, kernel, admission=None):
+        """Register a concurrency kernel (and optionally its admission
+        control) for queue-depth gauges and served/shed counters.
+
+        The resulting ``queue_depth{resource=...}`` gauges feed the
+        timeline's derived ``queue_depth`` series, so the queue-buildup
+        detector watches the kernel's real backlogs.  Returns the
+        :class:`~repro.obs.kernel_metrics.KernelMetrics` bridge.
+        """
+        from repro.obs.kernel_metrics import KernelMetrics
+
+        bridge = KernelMetrics(self.registry, kernel, admission=admission)
+        self._kernels.append(bridge)
+        return bridge
+
     def observe_flash(self, ssd, endurance_cycles: int = 5000):
         """Register a flash device for wear/GC/WA collection.
 
@@ -147,6 +167,8 @@ class Telemetry:
         """
         for bridge in self._flash:
             bridge.collect()
+        for kernel_bridge in self._kernels:
+            kernel_bridge.collect()
         for stats_bridge in self._stats:
             stats_bridge.collect()
         for fn in self._occupancy:
@@ -174,6 +196,12 @@ class Telemetry:
         the recorder ticks *before* the samples land — a closing window
         only ever contains queries that completed within it — and tail
         samples capture ``(qid, span_id, window)`` exemplars.
+
+        Stage attribution is exact only closed-loop: with concurrent
+        queries under the kernel, busy-time deltas over a query's span
+        include other queries' device work, and the ``cpu`` residual
+        absorbs queueing wait.  End-to-end ``query_latency_us`` stays
+        exact either way.
         """
         reg = self.registry
         store = self.exemplars

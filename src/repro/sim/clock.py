@@ -23,15 +23,27 @@ class VirtualClock:
     * :meth:`charge` — accumulate busy time on a named channel without
       moving "now".  Device models use this to attribute service time to
       a device even when the driver decides how times compose.
+    * :meth:`consume` — one *service* on a channel (advance + charge as a
+      unit).  This is the seam the discrete-event kernel
+      (:mod:`repro.sim.kernel`) hooks: with a kernel bound and the caller
+      running inside a kernel task, the service is queued on the kernel's
+      resource for that channel instead of advancing "now" inline, so
+      concurrent queries contend for devices instead of serialising.
+
+    Simulated time never flows backwards: :meth:`advance` rejects
+    negative deltas and :meth:`advance_to` rejects absolute times in the
+    past, so a mis-scheduled kernel event fails loudly instead of
+    silently corrupting the timeline.
     """
 
-    __slots__ = ("_now_us", "_busy_us")
+    __slots__ = ("_now_us", "_busy_us", "_kernel")
 
     def __init__(self, start_us: float = 0.0) -> None:
         if start_us < 0:
             raise ValueError(f"clock cannot start at negative time: {start_us}")
         self._now_us = float(start_us)
         self._busy_us: dict[str, float] = {}
+        self._kernel = None
 
     @property
     def now_us(self) -> float:
@@ -56,6 +68,51 @@ class VirtualClock:
         if delta_us < 0:
             raise ValueError(f"cannot advance clock by negative time: {delta_us}")
         self._now_us += delta_us
+        return self._now_us
+
+    def advance_to(self, t_us: float) -> float:
+        """Jump to the absolute time ``t_us`` and return the new now.
+
+        Rejects times in the past (monotonicity): an event scheduled
+        before the current "now" is a scheduler bug, not a valid jump.
+        """
+        if t_us < self._now_us:
+            raise ValueError(
+                f"cannot move clock backwards: {t_us} < now {self._now_us}"
+            )
+        self._now_us = float(t_us)
+        return self._now_us
+
+    def bind_kernel(self, kernel) -> None:
+        """Attach (or with ``None`` detach) a :class:`repro.sim.kernel.
+        Kernel` that :meth:`consume` routes services through."""
+        self._kernel = kernel
+
+    @property
+    def kernel(self):
+        """The bound kernel, if any."""
+        return self._kernel
+
+    def consume(self, channel: str, delta_us: float,
+                charge: bool = True) -> float:
+        """Serve ``delta_us`` of work on ``channel``; returns the new now.
+
+        Without a kernel (or outside any kernel task) this is exactly
+        ``advance`` followed by ``charge`` — the closed-loop accounting
+        every device used before the kernel existed.  Inside a kernel
+        task the request queues on the channel's resource and the task
+        blocks until service completes, so "now" may jump by queueing
+        delay plus service time.  ``charge=False`` advances without
+        attributing busy time (used for CPU work whose attribution is
+        derived as the response-time residual).
+        """
+        k = self._kernel
+        if k is not None and k.in_task():
+            k.serve(channel, delta_us, charge=charge)
+            return self._now_us
+        self.advance(delta_us)
+        if charge:
+            self.charge(channel, delta_us)
         return self._now_us
 
     def charge(self, channel: str, delta_us: float) -> None:

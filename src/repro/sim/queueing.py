@@ -7,6 +7,15 @@ wait + service.  This module simulates a single FIFO server fed by
 Poisson arrivals over a measured service-time sample — the standard way
 to turn service-time distributions into latency-vs-load curves.
 
+**Analytic reference.**  This post-hoc model is the closed-form /
+trace-driven *reference* the emergent discrete-event kernel
+(:mod:`repro.sim.kernel`) is validated against: feeding the kernel the
+same arrival and service draws must reproduce this module's FIFO
+timeline exactly, and on exponential service times the kernel's mean
+wait must converge to :func:`mm1_mean_wait_us` (see
+``tests/test_sim_kernel.py``).  Prefer the kernel for experiments — it
+captures multi-resource contention this single-server model cannot.
+
 Response-time percentiles come from a :class:`repro.obs.instruments.
 Histogram` (2%-wide log buckets), the same instrument the telemetry
 layer uses everywhere else, so open-loop tails are directly comparable
@@ -23,7 +32,7 @@ import numpy as np
 from repro.obs.instruments import Histogram
 from repro.sim.rng import make_rng
 
-__all__ = ["QueueResult", "simulate_fifo_queue"]
+__all__ = ["QueueResult", "simulate_fifo_queue", "mm1_mean_wait_us"]
 
 #: Bucket layout for response-time histograms: 2% relative resolution
 #: from 1 us up — percentile error stays within one bucket width.
@@ -47,6 +56,22 @@ class QueueResult:
     utilization: float
     #: True when the queue kept growing to the end (offered > capacity)
     saturated: bool
+
+
+def mm1_mean_wait_us(arrival_qps: float, mean_service_us: float) -> float:
+    """Exact M/M/1 mean queueing delay Wq = rho / (mu - lambda).
+
+    ``lambda`` is the arrival rate, ``mu = 1/E[S]`` the service rate.
+    Diverges as rho -> 1; raises for rho >= 1 (no steady state).
+    """
+    if arrival_qps <= 0 or mean_service_us <= 0:
+        raise ValueError("arrival rate and mean service time must be positive")
+    lam = arrival_qps / 1e6  # arrivals per us
+    mu = 1.0 / mean_service_us
+    rho = lam / mu
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: rho = {rho:.3f} >= 1")
+    return rho / (mu - lam)
 
 
 def simulate_fifo_queue(

@@ -74,8 +74,7 @@ class DramModel:
         latency = self._cost_us(nbytes)
         self.counters.add("read_ops", nbytes)
         self.counters.add("access_time_us", latency)
-        self.clock.advance(latency)
-        self.clock.charge(self.name, latency)
+        self.clock.consume(self.name, latency)
         if self.tracer is not None:
             now = self.clock.now_us
             self.tracer.record(f"{self.name}.read", now - latency, now,
@@ -86,8 +85,7 @@ class DramModel:
         latency = self._cost_us(nbytes)
         self.counters.add("write_ops", nbytes)
         self.counters.add("access_time_us", latency)
-        self.clock.advance(latency)
-        self.clock.charge(self.name, latency)
+        self.clock.consume(self.name, latency)
         if self.tracer is not None:
             now = self.clock.now_us
             self.tracer.record(f"{self.name}.write", now - latency, now,

@@ -67,10 +67,53 @@ def test_scenario_records_measurement_methodology(tiny_entry):
 
 
 def test_suites_are_registered():
-    assert set(SUITES) == {"smoke", "full"}
+    assert set(SUITES) == {"smoke", "full", "saturation"}
     names = [s.name for s in SUITES["smoke"]]
     assert len(names) == len(set(names))
     assert {s.policy for s in SUITES["smoke"]} == {"lru", "cblru", "cbslru"}
+    # The saturation ladder is open-loop by construction.
+    for s in SUITES["saturation"]:
+        assert s.arrival in ("poisson", "diurnal")
+        assert s.rate_qps > 0
+        assert s.concurrency > 1
+
+
+TINY_OPEN = BenchScenario("tiny-open", "cblru", docs=50_000, queries=150,
+                          mem_mb=2, ssd_mb=8, arrival="poisson",
+                          rate_qps=200.0, concurrency=4, max_queue=16,
+                          warmup_queries=50)
+
+
+@pytest.fixture(scope="module")
+def tiny_open_entry():
+    return run_scenario(TINY_OPEN)
+
+
+def test_open_loop_scenario_metrics_shape(tiny_open_entry):
+    m = tiny_open_entry["metrics"]
+    for key in ("mean_response_ms", "throughput_qps", "p99_response_ms",
+                "p999_response_ms", "mean_wait_ms", "reject_fraction",
+                "peak_queue_depth", "bottleneck_utilization",
+                "combined_hit_ratio", "wall_clock_s"):
+        assert key in m, key
+    assert m["mean_response_ms"] > 0
+    assert m["p999_response_ms"] >= m["p99_response_ms"] > 0
+    assert 0.0 <= m["reject_fraction"] <= 1.0
+    assert 0.0 <= m["bottleneck_utilization"] <= 1.0
+    meas = tiny_open_entry["measurement"]
+    assert meas["arrival"] == "poisson"
+    assert meas["offered_qps"] == 200.0
+    assert meas["warmup_queries"] == 50
+    assert meas["completed"] + meas["rejected"] == meas["measured_queries"]
+    assert isinstance(meas["bottleneck"], str) and meas["bottleneck"]
+
+
+def test_open_loop_scenario_is_deterministic(tiny_open_entry):
+    again = run_scenario(TINY_OPEN)["metrics"]
+    first = dict(tiny_open_entry["metrics"])
+    first.pop("wall_clock_s")
+    again.pop("wall_clock_s")
+    assert first == again
 
 
 # -- document io -------------------------------------------------------------

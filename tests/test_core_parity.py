@@ -118,6 +118,39 @@ def _combo_key(policy: Policy, scheme: Scheme) -> str:
     return f"{policy.value}/{scheme.value}"
 
 
+def _replay_kernel(index, log, policy: Policy, scheme: Scheme) -> dict:
+    """The same replay, but run as a single task on the discrete-event
+    kernel — closed-loop concurrency-1 must be byte-identical to the
+    seed's inline accounting."""
+    from repro.sim.kernel import Kernel
+
+    mgr = _build_manager(index, policy, scheme)
+    record: dict = {}
+    if policy is Policy.CBSLRU:
+        record["warmup"] = mgr.warmup_static(log)
+    kernel = Kernel(mgr.clock)
+    mgr.hierarchy.attach_kernel(kernel)
+    outcomes = []
+
+    def closed_loop():
+        for query in log:
+            out = mgr.process_query(query)
+            outcomes.append(
+                [out.situation.name, out.result_hit_level, out.response_us]
+            )
+
+    kernel.spawn(closed_loop, name="closed-loop")
+    try:
+        kernel.run()
+    finally:
+        mgr.clock.bind_kernel(None)
+    mgr.check_invariants()
+    record["outcomes"] = outcomes
+    record["occupancy"] = mgr.occupancy()
+    record["stats"] = _stats_digest(mgr.stats)
+    return record
+
+
 @pytest.mark.parametrize(
     "policy,scheme", COMBOS, ids=[_combo_key(p, s) for p, s in COMBOS]
 )
@@ -157,5 +190,41 @@ def test_replay_matches_golden_fixture(parity_index, parity_log, policy, scheme)
     assert not mismatches, (
         f"{len(mismatches)} of {NUM_QUERIES} query outcomes diverged; "
         f"first: {mismatches[0]}"
+    )
+    assert len(record["outcomes"]) == len(expected["outcomes"])
+
+
+@pytest.mark.parametrize(
+    "policy,scheme", COMBOS, ids=[_combo_key(p, s) for p, s in COMBOS]
+)
+def test_kernel_closed_loop_matches_golden_fixture(
+    parity_index, parity_log, policy, scheme
+):
+    """Concurrency-1 on the kernel reproduces the golden fixtures exactly:
+    the event-driven service path is an accounting refactor, not a
+    behaviour change, until real concurrency is requested."""
+    if os.environ.get("PARITY_REGEN"):
+        pytest.skip("fixtures are recorded from the inline closed-loop path")
+    assert FIXTURE_PATH.exists(), (
+        "golden fixture missing; regenerate with PARITY_REGEN=1 on a trusted "
+        "revision"
+    )
+    record = _replay_kernel(parity_index, parity_log, policy, scheme)
+    golden = json.loads(FIXTURE_PATH.read_text())
+    expected = golden[_combo_key(policy, scheme)]
+
+    assert record.get("warmup") == expected.get("warmup")
+    assert record["occupancy"] == expected["occupancy"]
+    assert record["stats"] == expected["stats"]
+    mismatches = [
+        (i, got, want)
+        for i, (got, want) in enumerate(
+            zip(record["outcomes"], expected["outcomes"])
+        )
+        if got != want
+    ]
+    assert not mismatches, (
+        f"kernel closed-loop diverged from golden fixture on "
+        f"{len(mismatches)} of {NUM_QUERIES} outcomes; first: {mismatches[0]}"
     )
     assert len(record["outcomes"]) == len(expected["outcomes"])

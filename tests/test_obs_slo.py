@@ -107,6 +107,19 @@ def test_detect_queue_buildup_needs_consecutive_rise():
     assert hits and hits[0].window == 3
 
 
+def test_detect_queue_buildup_escalates_to_critical():
+    """A run reaching critical_k is the unbounded-backlog signature of an
+    offered rate past the knee; --strict turns critical into a failure."""
+    rising = list(range(1, 9))  # runs of length 3..7
+    hits = detect_queue_buildup(windows({"queue_depth": rising}))
+    assert [h.severity for h in hits] == [
+        "warn", "warn", "warn", "critical", "critical"]
+    # A dip resets the run: no escalation without consecutive growth.
+    interrupted = [1, 2, 3, 4, 1, 2, 3, 4, 5]
+    hits = detect_queue_buildup(windows({"queue_depth": interrupted}))
+    assert all(h.severity == "warn" for h in hits)
+
+
 def test_run_detectors_orders_by_window():
     w = windows({"hit_ratio": [0.7] * 6 + [0.2],
                  "queue_depth": [1, 2, 3, 4, 5, 5, 5]})

@@ -72,3 +72,78 @@ def test_reset_clears_time_and_channels():
     clock.reset()
     assert clock.now_us == 0.0
     assert clock.channels() == ()
+
+
+# -- monotonicity (advance_to) -----------------------------------------------
+
+def test_advance_to_jumps_forward():
+    clock = VirtualClock()
+    assert clock.advance_to(50.0) == 50.0
+    assert clock.now_us == 50.0
+
+
+def test_advance_to_same_instant_is_allowed():
+    clock = VirtualClock()
+    clock.advance(10.0)
+    assert clock.advance_to(10.0) == 10.0
+
+
+def test_advance_to_rejects_time_travel():
+    clock = VirtualClock()
+    clock.advance(10.0)
+    with pytest.raises(ValueError, match="backwards"):
+        clock.advance_to(9.999)
+    assert clock.now_us == 10.0  # a rejected jump leaves the clock untouched
+
+
+# -- the consume seam --------------------------------------------------------
+
+class _StubKernel:
+    """Records serve() calls; ``in_task`` is scripted per test."""
+
+    def __init__(self, in_task: bool) -> None:
+        self._in_task = in_task
+        self.calls = []
+
+    def in_task(self) -> bool:
+        return self._in_task
+
+    def serve(self, channel, delta_us, charge=True):
+        self.calls.append((channel, delta_us, charge))
+
+
+def test_consume_without_kernel_is_advance_plus_charge():
+    clock = VirtualClock()
+    assert clock.consume("ssd", 8.0) == 8.0
+    assert clock.busy_us("ssd") == 8.0
+
+
+def test_consume_charge_false_advances_without_attribution():
+    clock = VirtualClock()
+    clock.consume("cpu", 5.0, charge=False)
+    assert clock.now_us == 5.0
+    assert clock.busy_us("cpu") == 0.0
+
+
+def test_consume_routes_to_bound_kernel_inside_task():
+    clock = VirtualClock()
+    kernel = _StubKernel(in_task=True)
+    clock.bind_kernel(kernel)
+    assert clock.kernel is kernel
+    clock.consume("ssd", 8.0, charge=False)
+    # The kernel owns time and attribution now: nothing happened inline.
+    assert kernel.calls == [("ssd", 8.0, False)]
+    assert clock.now_us == 0.0
+    assert clock.busy_us("ssd") == 0.0
+
+
+def test_consume_outside_task_ignores_bound_kernel():
+    clock = VirtualClock()
+    kernel = _StubKernel(in_task=False)
+    clock.bind_kernel(kernel)
+    clock.consume("ssd", 8.0)
+    assert kernel.calls == []
+    assert clock.now_us == 8.0
+    assert clock.busy_us("ssd") == 8.0
+    clock.bind_kernel(None)
+    assert clock.kernel is None
