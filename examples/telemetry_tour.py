@@ -12,7 +12,9 @@ cache, replays a query stream, and shows every exposition surface:
 * the timeline: windowed time series, steady-state detection,
   sparklines, SLO verdicts, and tail exemplars,
 * the on-disk telemetry dir (spans.jsonl / metrics.json / metrics.prom
-  / audit.jsonl / timeline.jsonl).
+  / audit.jsonl / timeline.jsonl),
+* the host profiler: wall-clock attribution by subsystem, hot-path
+  counters, and flamegraph-ready collapsed stacks (`repro profile`).
 
 Run:  python examples/telemetry_tour.py
 """
@@ -30,6 +32,7 @@ from repro import (
 )
 from repro.obs import (
     DEFAULT_SLOS,
+    Profiler,
     Telemetry,
     evaluate_slos,
     explain_subject,
@@ -153,6 +156,30 @@ def main() -> None:
               f"{written.get('timeline_windows', 0)} timeline windows "
               f"(spans.jsonl, metrics.json, metrics.prom, audit.jsonl, "
               f"timeline.jsonl)")
+
+    # 11. Host time: all of the above measured the *simulated* system;
+    # the profiler measures the *simulator*. Everything inside the
+    # `profile()` section is attributed to a subsystem, hot-path
+    # counters turn wall time into ns/op, and `folded_lines()` is
+    # flamegraph.pl / speedscope food (what `repro profile` runs).
+    profiler = Profiler()
+    replay = generate_query_log(
+        QueryLogConfig(num_queries=300, distinct_queries=300,
+                       vocab_size=10_000, seed=2))
+    with profiler.profile():
+        for query in replay:
+            manager.process_query(query)
+    doc = profiler.summary(top=3)
+    print(f"\nhost profile: {doc['wall_s'] * 1e3:.0f} ms wall for "
+          f"{len(replay)} queries")
+    for name, entry in sorted(doc["subsystems"].items(),
+                              key=lambda kv: -kv[1]["share"])[:4]:
+        print(f"  {name:<16s} {entry['share']:6.1%} of self time")
+    for op, ns in sorted(doc["wall_ns_per_op"].items()):
+        print(f"  {op:<20s} {doc['counters'][op]:>9,d} ops "
+              f"({ns:,.0f} ns/op of wall)")
+    print(f"  {len(profiler.folded_lines())} collapsed stacks ready for "
+          f"flamegraph.pl")
 
 
 if __name__ == "__main__":

@@ -23,9 +23,12 @@ from repro.bench.harness import (
 )
 from repro.bench.regression import (
     DEFAULT_THRESHOLDS,
+    HOST_WALL_METRIC,
+    HOST_WALL_THRESHOLD,
     Regression,
     compare_benches,
     format_regressions,
+    format_wall_report,
 )
 from repro.bench.scenarios import SUITES, BenchScenario
 
@@ -39,6 +42,9 @@ __all__ = [
     "next_bench_path",
     "Regression",
     "DEFAULT_THRESHOLDS",
+    "HOST_WALL_METRIC",
+    "HOST_WALL_THRESHOLD",
     "compare_benches",
     "format_regressions",
+    "format_wall_report",
 ]

@@ -19,12 +19,22 @@ methodology is recorded in the document, and
 :func:`~repro.bench.regression.compare_benches` refuses to compare
 documents measured under different methodologies.
 
+**Host-time measurement**: ``wall_clock_s`` times *serving only* —
+corpus/index/manager construction and static warmup are reported
+separately as ``host.build_wall_s``.  Closed-loop scenarios additionally
+run twice more (same seed, so the simulated work is byte-identical): a
+profiled run (:class:`~repro.obs.Profiler`) yielding per-subsystem wall
+shares, hot-op counts and ``wall_ns_per_op``, and a telemetry-off run
+yielding the obs-tax fraction.  The result is the ``host`` block next to
+``metrics``; :func:`~repro.bench.regression.compare_benches` gates
+``host.wall_us_per_query`` with a 30% ratchet.
+
 Document schema (``repro.bench/v1``)::
 
     {"schema": "repro.bench/v1", "suite": "smoke",
      "methodology": {"name": "steady-state/v1", ...},
      "scenarios": {"<name>": {"config": {...}, "metrics": {...},
-                              "measurement": {...}}}}
+                              "measurement": {...}, "host": {...}}}}
 """
 
 from __future__ import annotations
@@ -79,14 +89,20 @@ def _ratio(counters: dict, name: str, hit_outcomes=("l1_hit", "l2_hit")):
     return (hits / lookups if lookups else 0.0), lookups
 
 
-def run_scenario(scenario: BenchScenario) -> dict:
+def run_scenario(scenario: BenchScenario, host_profile: bool = True) -> dict:
     """Run one scenario; returns its ``{"config", "metrics",
-    "measurement"}`` entry."""
+    "measurement", "host"}`` entry.
+
+    ``host_profile=False`` skips the two extra serving runs behind the
+    host block's profile and obs-tax fields (the block then carries only
+    timing), for callers that just need the simulated metrics fast.
+    """
     from repro.core.config import CacheConfig, Policy
     from repro.obs import Telemetry, merge_windows, steady_state_window
-    from repro.workloads.retrieval import run_cached
+    from repro.workloads.retrieval import prepare_cached_manager, run_cached
     from repro.workloads.sweep import make_log_for, make_scaled_index
 
+    build_t0 = time.perf_counter()
     index = make_scaled_index(scenario.docs)
     log = make_log_for(scenario.queries, seed=scenario.seed)
     cfg = CacheConfig.paper_split(
@@ -95,18 +111,32 @@ def run_scenario(scenario: BenchScenario) -> dict:
         ttl_us=scenario.ttl_ms * 1000.0,
     )
     if scenario.arrival != "closed":
-        return _run_open_scenario(scenario, index, log, cfg)
+        return _run_open_scenario(scenario, index, log, cfg, build_t0)
+
+    def build_manager(telemetry):
+        return prepare_cached_manager(
+            index, log, cfg,
+            static_analyze_queries=scenario.queries // 2,
+            seed=scenario.seed, telemetry=telemetry,
+        )
+
+    def serve(manager):
+        return run_cached(index, log, cfg, seed=scenario.seed,
+                          manager=manager)
+
     tel = Telemetry(trace=False, audit=False)
     timeline = tel.attach_timeline(window_us=METHODOLOGY["window_us"])
+    manager = build_manager(tel)
+    build_wall = time.perf_counter() - build_t0
     t0 = time.perf_counter()
-    result = run_cached(
-        index, log, cfg,
-        static_analyze_queries=scenario.queries // 2,
-        seed=scenario.seed,
-        telemetry=tel,
-    )
+    result = serve(manager)
     wall = time.perf_counter() - t0
     timeline.finish()
+    host = _host_block(scenario, wall, build_wall, result.queries,
+                       build_manager, serve) if host_profile else {
+        "wall_us_per_query": wall * 1e6 / max(1, result.queries),
+        "build_wall_s": build_wall,
+    }
 
     windows = list(timeline.windows)
     steady = steady_state_window(
@@ -184,10 +214,48 @@ def run_scenario(scenario: BenchScenario) -> dict:
         for q in _STAGE_QS:
             metrics[f"stage_{stage}_p{q:g}_us"] = inst.percentile(q)
     return {"config": scenario.to_dict(), "metrics": metrics,
-            "measurement": measurement}
+            "measurement": measurement, "host": host}
 
 
-def _run_open_scenario(scenario: BenchScenario, index, log, cfg) -> dict:
+def _host_block(scenario, wall, build_wall, queries,
+                build_manager, serve) -> dict:
+    """Measure where the serving wall time goes.
+
+    Two extra serving runs with the scenario's seed: one under the
+    profiler (manager built *outside* the capture, so only serving is
+    attributed) and one with telemetry off (the obs tax).  The simulated
+    work is identical in all three runs — the profiler observes, never
+    perturbs — so only host-side numbers differ.
+    """
+    from repro.obs import Profiler, Telemetry
+
+    host = {
+        "wall_us_per_query": wall * 1e6 / max(1, queries),
+        "build_wall_s": build_wall,
+    }
+
+    profiler = Profiler()
+    profiled_manager = build_manager(Telemetry(trace=False, audit=False))
+    with profiler.profile():
+        serve(profiled_manager)
+    summary = profiler.summary(top=5)
+    host["subsystem_shares"] = {
+        name: entry["share"] for name, entry in summary["subsystems"].items()
+    }
+    host["counters"] = summary["counters"]
+    host["wall_ns_per_op"] = summary["wall_ns_per_op"]
+
+    bare_manager = build_manager(None)
+    t0 = time.perf_counter()
+    serve(bare_manager)
+    wall_off = time.perf_counter() - t0
+    host["obs_tax_fraction"] = (
+        max(0.0, (wall - wall_off) / wall) if wall > 0 else 0.0)
+    return host
+
+
+def _run_open_scenario(scenario: BenchScenario, index, log, cfg,
+                       build_t0: float) -> dict:
     """Open-loop scenario: closed-loop warmup, then kernel-scheduled
     arrivals.  Response metrics include queueing delay by construction;
     saturation indicators (shed fraction, peak queue depth, bottleneck
@@ -207,7 +275,6 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg) -> dict:
         manager.warmup_static(log, analyze_queries=scenario.queries // 2)
     queries = list(log)
     warm = min(scenario.warmup_queries, max(0, len(queries) - 1))
-    t0 = time.perf_counter()
     for query in queries[:warm]:
         manager.process_query(query)
     manager.stats.reset()
@@ -217,6 +284,8 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg) -> dict:
         arrivals = DiurnalArrivals(scenario.rate_qps, seed=scenario.seed)
     else:
         raise ValueError(f"unknown arrival {scenario.arrival!r}")
+    build_wall = time.perf_counter() - build_t0
+    t0 = time.perf_counter()
     result = run_open_loop(
         manager, queries[warm:], arrivals,
         concurrency=scenario.concurrency, max_queue=scenario.max_queue,
@@ -254,11 +323,18 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg) -> dict:
         "bottleneck": bottleneck,
         "windows_total": len(timeline.windows),
     }
+    # Kernel tasks run on OS threads and cProfile is per-thread, so open
+    # scenarios carry only the timing fields of the host block.
+    host = {
+        "wall_us_per_query": wall * 1e6 / max(1, result.completed),
+        "build_wall_s": build_wall,
+    }
     return {"config": scenario.to_dict(), "metrics": metrics,
-            "measurement": measurement}
+            "measurement": measurement, "host": host}
 
 
-def run_suite(suite: str = "smoke", progress=None) -> dict:
+def run_suite(suite: str = "smoke", progress=None,
+              host_profile: bool = True) -> dict:
     """Run every scenario of ``suite``; returns the BENCH document."""
     try:
         scenarios = SUITES[suite]
@@ -271,7 +347,8 @@ def run_suite(suite: str = "smoke", progress=None) -> dict:
     for scenario in scenarios:
         if progress is not None:
             progress(scenario)
-        doc["scenarios"][scenario.name] = run_scenario(scenario)
+        doc["scenarios"][scenario.name] = run_scenario(
+            scenario, host_profile=host_profile)
     return doc
 
 

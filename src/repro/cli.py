@@ -16,6 +16,8 @@ The subcommands cover the common standalone uses of the library::
     repro compare  out-a/ out-b/                  # compare saved telemetry dirs
     repro bench    --suite smoke                  # deterministic benchmark run
     repro bench    --suite smoke --against BENCH_0004.json  # regression gate
+    repro profile  --suite smoke --top 15         # host wall-clock scoreboard
+    repro profile  --folded profile.folded --out profile.json  # flamegraph data
 
 Install exposes ``repro`` as a console entry point; ``python -m
 repro.cli`` works without installation.
@@ -173,6 +175,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--against", type=str, default=None, metavar="PREV.json",
                    help="gate against a previous BENCH document; exits "
                         "non-zero on regression")
+
+    p = sub.add_parser("profile",
+                       help="profile host wall-clock time over a bench "
+                            "suite's closed-loop scenarios")
+    p.add_argument("--suite", choices=("smoke", "full", "saturation"),
+                   default="smoke")
+    p.add_argument("--top", type=int, default=15,
+                   help="functions to keep in the top-N table")
+    p.add_argument("--folded", type=str, default=None, metavar="PATH",
+                   help="write Brendan-Gregg collapsed stacks to PATH "
+                        "(render with flamegraph.pl or speedscope)")
+    p.add_argument("--out", type=str, default=None, metavar="PATH",
+                   help="write the repro.obs.profile/v1 JSON summary to PATH")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON summary instead of the scoreboard")
+    p.add_argument("--no-obs-tax", action="store_true",
+                   help="skip the extra telemetry-off run that measures "
+                        "observability overhead")
     return parser
 
 
@@ -562,20 +582,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.dirs:
         return _compare_dirs(args)
 
+    import time
+
+    from repro.obs import HOT
+
     index = make_scaled_index(args.docs)
     log = make_log_for(args.queries, seed=args.seed)
     results = {}
     registries = {}
     timelines = {}
+    host = {}
     for policy in (Policy.LRU, Policy.CBLRU, Policy.CBSLRU):
         cfg = CacheConfig.paper_split(args.mem_mb * MB, args.ssd_mb * MB,
                                       policy=policy)
         tel = Telemetry(trace=False, audit=False)
         timeline = tel.attach_timeline(window_us=50_000.0)
+        hot_before = HOT.snapshot()
+        t0 = time.perf_counter()
         results[policy.value] = run_cached(
             index, log, cfg, static_analyze_queries=args.queries // 2,
             telemetry=tel,
         )
+        wall = time.perf_counter() - t0
+        host[policy.value] = {
+            "wall_s": wall,
+            "wall_us_per_query": wall * 1e6 / max(1, args.queries),
+            "hot_ops": HOT.delta(hot_before),
+        }
         timeline.finish()  # also samples the flash bridges (collect)
         registries[policy.value] = tel.registry
         timelines[policy.value] = list(timeline.windows)
@@ -585,6 +618,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
         payload = _compare_payload(results, registries)
         payload["timeline"] = _compare_timelines(timelines)
+        payload["host"] = host
         report = json.dumps(payload, indent=1, sort_keys=True)
     else:
         report = policy_comparison_report(
@@ -593,6 +627,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         report += "\n\n" + format_stage_comparison(
             registries, title="per-stage latency by policy"
         )
+        report += "\n\n" + _host_time_table(host)
         flash_rows = [
             [policy] + row[1:]
             for policy, registry in registries.items()
@@ -612,6 +647,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"wrote report to {args.out}")
     return 0
+
+
+def _host_time_table(host: dict) -> str:
+    """Host wall-clock per policy (real seconds, not virtual time)."""
+    rows = [
+        [policy, f"{h['wall_s']:.2f}", f"{h['wall_us_per_query']:,.0f}",
+         f"{h['hot_ops']['ftl_map_lookups']:,}",
+         f"{h['hot_ops']['lru_node_moves']:,}",
+         f"{h['hot_ops']['postings_decoded']:,}"]
+        for policy, h in host.items()
+    ]
+    return format_table(
+        ["policy", "wall s", "us/query", "ftl lookups", "lru moves",
+         "postings"],
+        rows, title="host time (wall clock; `repro profile` for attribution)")
 
 
 def _compare_timelines(timelines: dict) -> dict:
@@ -846,6 +896,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         compare_benches,
         format_regressions,
+        format_wall_report,
         load_bench,
         next_bench_path,
         run_suite,
@@ -858,19 +909,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     write_bench(doc, out)
     for name, entry in doc["scenarios"].items():
         m = entry["metrics"]
+        host = entry.get("host", {})
+        wall_txt = f"({m['wall_clock_s']:.1f} s serve"
+        if "wall_us_per_query" in host:
+            wall_txt += f", {host['wall_us_per_query']:,.0f} us/q host"
+        wall_txt += ")"
         if "reject_fraction" in m:  # open-loop saturation scenario
             print(f"  {name:<16s} {m['mean_response_ms']:8.2f} ms/q "
                   f"{m['throughput_qps']:8.1f} q/s "
                   f"p999 {m['p999_response_ms']:8.1f} ms "
                   f"shed {m['reject_fraction']:6.1%} "
                   f"util {m['bottleneck_utilization']:5.1%} "
-                  f"({m['wall_clock_s']:.1f} s wall)")
+                  f"{wall_txt}")
         else:
             print(f"  {name:<16s} {m['mean_response_ms']:8.2f} ms/q "
                   f"{m['throughput_qps']:8.1f} q/s "
                   f"hit {m['combined_hit_ratio']:6.1%} "
                   f"erases {m['ssd_erases']:5d} "
-                  f"({m['wall_clock_s']:.1f} s wall)")
+                  f"{wall_txt}")
     print(f"wrote {out}")
     if args.against:
         baseline = load_bench(args.against)
@@ -879,9 +935,120 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        print(format_wall_report(doc, baseline))
         print(f"gate vs {args.against}: {format_regressions(regressions)}")
         if regressions:
             return 1
+    return 0
+
+
+def _sim_fingerprint(result) -> dict:
+    """The simulated metrics that must not move when observability does."""
+    stats = result.stats
+    return {
+        "queries": result.queries,
+        "mean_response_ms": result.mean_response_ms,
+        "throughput_qps": result.throughput_qps,
+        "result_hit_ratio": stats.result_hit_ratio,
+        "list_hit_ratio": stats.list_hit_ratio,
+        "combined_hit_ratio": stats.combined_hit_ratio,
+        "ssd_erases": result.ssd_erases,
+    }
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.bench.scenarios import SUITES
+    from repro.core.config import CacheConfig, Policy
+    from repro.obs import (
+        Profiler,
+        Telemetry,
+        format_profile,
+        measure_obs_tax,
+        write_folded,
+        write_profile,
+    )
+    from repro.workloads.retrieval import prepare_cached_manager, run_cached
+    from repro.workloads.sweep import make_log_for, make_scaled_index
+
+    # cProfile captures the calling thread only; kernel tasks run on OS
+    # threads, so open-loop scenarios cannot be attributed and are skipped.
+    scenarios = [s for s in SUITES[args.suite] if s.arrival == "closed"]
+    skipped = len(SUITES[args.suite]) - len(scenarios)
+    if not scenarios:
+        print(f"error: suite {args.suite!r} has only open-loop scenarios; "
+              f"cProfile cannot attribute kernel task threads",
+              file=sys.stderr)
+        return 2
+    if skipped:
+        print(f"(skipping {skipped} open-loop scenario(s): cProfile is "
+              f"per-thread)")
+
+    profiler = Profiler()
+    start = time.perf_counter()
+    total_queries = 0
+    first_run = None
+    for sc in scenarios:
+        print(f"profiling {sc.name} ...")
+        index = make_scaled_index(sc.docs)
+        log = make_log_for(sc.queries, seed=sc.seed)
+        cfg = CacheConfig.paper_split(
+            sc.mem_mb * MB, sc.ssd_mb * MB,
+            policy=Policy(sc.policy), ttl_us=sc.ttl_ms * 1000.0,
+        )
+        if first_run is None:
+            first_run = (sc, index, log, cfg)
+        mgr = prepare_cached_manager(
+            index, log, cfg, static_analyze_queries=sc.queries // 2,
+            seed=sc.seed, telemetry=Telemetry(trace=False, audit=False),
+        )
+        with profiler.profile():
+            run_cached(index, log, cfg, seed=sc.seed, manager=mgr)
+        total_queries += sc.queries
+
+    doc = profiler.summary(top=args.top)
+    doc["suite"] = args.suite
+    doc["queries"] = total_queries
+    doc["build_wall_s"] = (time.perf_counter() - start) - profiler.wall_s
+
+    tax = None
+    if not args.no_obs_tax:
+        sc, index, log, cfg = first_run
+
+        def prepared(telemetry):
+            return prepare_cached_manager(
+                index, log, cfg, static_analyze_queries=sc.queries // 2,
+                seed=sc.seed, telemetry=telemetry)
+
+        obs_manager = prepared(Telemetry(trace=False, audit=False))
+        bare_manager = prepared(None)
+        tax = measure_obs_tax(
+            lambda: _sim_fingerprint(run_cached(
+                index, log, cfg, seed=sc.seed, manager=obs_manager)),
+            lambda: _sim_fingerprint(run_cached(
+                index, log, cfg, seed=sc.seed, manager=bare_manager)),
+        )
+        doc["obs_tax"] = tax
+
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print()
+        print(format_profile(doc, top=args.top))
+    if args.out:
+        write_profile(doc, args.out)
+        print(f"wrote profile summary to {args.out}")
+    if args.folded:
+        lines = profiler.folded_lines()
+        write_folded(lines, args.folded)
+        print(f"wrote {len(lines)} collapsed stacks to {args.folded}")
+    if tax is not None and not tax["simulated_match"]:
+        print("error: simulated metrics diverged between telemetry-on and "
+              "telemetry-off runs — observability is perturbing the "
+              "simulation", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -897,6 +1064,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": _cmd_explain,
         "compare": _cmd_compare,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Generic, Hashable, Iterator, TypeVar
 
+from repro._hot import HOT
+
 __all__ = ["LruList"]
 
 K = TypeVar("K", bound=Hashable)
@@ -41,20 +43,24 @@ class LruList(Generic[K, V]):
         """Mark ``key`` most recently used and return its value."""
         value = self._od[key]
         self._od.move_to_end(key)
+        HOT.lru_node_moves += 1
         return value
 
     def insert(self, key: K, value: V) -> None:
         """Insert (or replace) as most recently used."""
         self._od[key] = value
         self._od.move_to_end(key)
+        HOT.lru_node_moves += 1
 
     def pop(self, key: K) -> V:
+        HOT.lru_node_moves += 1
         return self._od.pop(key)
 
     def pop_lru(self) -> tuple[K, V]:
         """Remove and return the least recently used item."""
         if not self._od:
             raise KeyError("pop_lru on empty LruList")
+        HOT.lru_node_moves += 1
         return self._od.popitem(last=False)
 
     def peek_lru(self) -> tuple[K, V]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._hot import HOT
 from repro.engine.postings import PostingList
 
 __all__ = [
@@ -103,6 +104,7 @@ def decode_posting_list(data: bytes) -> PostingList:
     if header.size < 2:
         raise ValueError("truncated posting-list header")
     term_id, n = int(header[0]), int(header[1])
+    HOT.postings_decoded += n
     # Re-decode the whole stream and skip the two header values.
     values = varbyte_decode(data, count=2 + 2 * n)
     if values.size < 2 + 2 * n:

@@ -16,6 +16,7 @@ import heapq
 
 import numpy as np
 
+from repro._hot import HOT
 from repro.engine.index import InvertedIndex
 from repro.engine.postings import POSTING_BYTES, SKIP_INTERVAL
 from repro.engine.processor import ListDemand, ProcessorCosts, QueryPlan
@@ -113,12 +114,14 @@ class DaatQueryProcessor:
 
         heap: list[tuple[float, int]] = []
         for pos in range(drv_docs.size):
+            HOT.daat_advance_steps += 1
             doc = int(drv_docs[pos])
             score = float(np.sqrt(drv_tfs[pos])) * idfs[driver]
             for term in key:
                 if term == driver:
                     continue
                 docs, tfs = lists[term]
+                HOT.daat_advance_steps += 1
                 i = int(np.searchsorted(docs, doc))
                 if i < docs.size and docs[i] == doc:
                     score += float(np.sqrt(tfs[i])) * idfs[term]

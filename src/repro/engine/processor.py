@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._hot import HOT
 from repro.engine.index import InvertedIndex
 from repro.engine.postings import POSTING_BYTES
 from repro.engine.query import Query
@@ -153,6 +154,7 @@ class QueryProcessor:
             prefix_n = min(demand.postings, len(plist))
             if prefix_n == 0:
                 continue
+            HOT.postings_decoded += prefix_n
             idf = self.index.idf(demand.term_id)
             doc_ids = plist.doc_ids[:prefix_n]
             scores = np.sqrt(plist.tfs[:prefix_n].astype(np.float64)) * idf

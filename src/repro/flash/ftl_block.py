@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._hot import HOT
 from repro.flash.constants import FlashConfig
 from repro.flash.ftl_base import FTL
 from repro.flash.gc import VictimPolicy
@@ -40,6 +41,7 @@ class BlockMappingFTL(FTL):
 
     def read(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         lbn, off = divmod(lpn, self.config.pages_per_block)
         pb = int(self._l2b[lbn])
         if pb == _UNMAPPED:
@@ -55,6 +57,7 @@ class BlockMappingFTL(FTL):
 
     def write(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         ppb = self.config.pages_per_block
         lbn, off = divmod(lpn, ppb)
         pb = int(self._l2b[lbn])
@@ -83,6 +86,7 @@ class BlockMappingFTL(FTL):
 
     def trim(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         ppb = self.config.pages_per_block
         lbn, off = divmod(lpn, ppb)
         pb = int(self._l2b[lbn])

@@ -17,6 +17,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro._hot import HOT
 from repro.flash.constants import FlashConfig
 from repro.flash.ftl_base import FTL
 from repro.flash.gc import VictimPolicy
@@ -67,6 +68,7 @@ class DFTL(FTL):
 
     def read(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         latency = self._ensure_cmt(lpn)
         ppn = int(self._l2p[lpn])
         if ppn != _UNMAPPED:
@@ -76,6 +78,7 @@ class DFTL(FTL):
 
     def write(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         latency = self._ensure_cmt(lpn)
         old = int(self._l2p[lpn])
         if old != _UNMAPPED:
@@ -93,6 +96,7 @@ class DFTL(FTL):
 
     def trim(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         ppn = int(self._l2p[lpn])
         if ppn == _UNMAPPED:
             return 0.0

@@ -18,6 +18,7 @@ from collections import OrderedDict, deque
 
 import numpy as np
 
+from repro._hot import HOT
 from repro.flash.constants import FlashConfig
 from repro.flash.ftl_base import FTL
 from repro.flash.gc import VictimPolicy
@@ -64,6 +65,7 @@ class FastFTL(FTL):
 
     def read(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         ppn = self._log_map.get(lpn)
         if ppn is None:
             ppb = self.config.pages_per_block
@@ -80,6 +82,7 @@ class FastFTL(FTL):
 
     def write(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         latency = 0.0
         ppb = self.config.pages_per_block
         lbn, off = divmod(lpn, ppb)
@@ -118,6 +121,7 @@ class FastFTL(FTL):
 
     def trim(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         if self._invalidate_existing(lpn):
             self._mapped -= 1
             self.stats.trimmed_pages += 1

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._hot import HOT
 from repro.flash.constants import FlashConfig
 from repro.flash.ftl_base import FTL
 from repro.flash.gc import CostBenefitVictimPolicy, VictimPolicy
@@ -50,6 +51,7 @@ class PageMappingFTL(FTL):
 
     def read(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         ppn = self._l2p[lpn]
         if ppn == _UNMAPPED:
             # Reading never-written space: real SSDs return zeros without
@@ -63,6 +65,7 @@ class PageMappingFTL(FTL):
 
     def write(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         latency = 0.0
         old = self._l2p[lpn]
         if old != _UNMAPPED:
@@ -79,6 +82,7 @@ class PageMappingFTL(FTL):
 
     def trim(self, lpn: int) -> float:
         self._check_lpn(lpn)
+        HOT.ftl_map_lookups += 1
         ppn = self._l2p[lpn]
         if ppn == _UNMAPPED:
             return 0.0
@@ -102,6 +106,7 @@ class PageMappingFTL(FTL):
             raise ValueError("count must be positive")
         self._check_lpn(lpn_start)
         self._check_lpn(lpn_start + count - 1)
+        HOT.ftl_map_lookups += count
         ppns = self._l2p[lpn_start:lpn_start + count]
         self.nand.read_pages(ppns[ppns != _UNMAPPED])
         self.stats.host_page_reads += count
@@ -120,6 +125,7 @@ class PageMappingFTL(FTL):
             raise ValueError("count must be positive")
         self._check_lpn(lpn_start)
         self._check_lpn(lpn_start + count - 1)
+        HOT.ftl_map_lookups += count
         lpns = np.arange(lpn_start, lpn_start + count, dtype=np.int64)
         old = self._l2p[lpns]
         live = old[old != _UNMAPPED]
@@ -158,6 +164,7 @@ class PageMappingFTL(FTL):
             return 0.0
         self._check_lpn(lpn_start)
         self._check_lpn(lpn_start + count - 1)
+        HOT.ftl_map_lookups += count
         lpns = np.arange(lpn_start, lpn_start + count, dtype=np.int64)
         old = self._l2p[lpns]
         live_mask = old != _UNMAPPED

@@ -19,6 +19,7 @@ Everything hangs off one :class:`Telemetry` object::
     write_telemetry_dir(tel, "telemetry/")
 """
 
+from repro._hot import HOT, HotCounters
 from repro.obs.audit import (
     NULL_AUDIT,
     AuditLog,
@@ -44,6 +45,19 @@ from repro.obs.instruments import (
     Counter,
     Gauge,
     Histogram,
+)
+from repro.obs.profiler import (
+    PROFILE_SCHEMA,
+    Profiler,
+    format_profile,
+    func_label,
+    load_folded,
+    load_profile,
+    measure_obs_tax,
+    subsystem_of,
+    validate_profile,
+    write_folded,
+    write_profile,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import (
@@ -132,4 +146,17 @@ __all__ = [
     "stage_summary",
     "format_stage_breakdown",
     "format_stage_comparison",
+    "HOT",
+    "HotCounters",
+    "PROFILE_SCHEMA",
+    "Profiler",
+    "subsystem_of",
+    "func_label",
+    "measure_obs_tax",
+    "format_profile",
+    "write_profile",
+    "load_profile",
+    "validate_profile",
+    "write_folded",
+    "load_folded",
 ]

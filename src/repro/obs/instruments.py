@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+from repro._hot import HOT
+
 __all__ = ["Counter", "Gauge", "Histogram", "DEFAULT_PERCENTILES",
            "GAUGE_MERGE_MODES"]
 
@@ -149,6 +151,7 @@ class Histogram:
     def record(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"histogram samples must be non-negative, got {value}")
+        HOT.histogram_records += 1
         b = self.bucket_index(value)
         self._counts[b] = self._counts.get(b, 0) + 1
         self.count += 1

@@ -42,6 +42,8 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
+from repro._hot import HOT
+
 __all__ = [
     "Kernel",
     "Resource",
@@ -317,6 +319,7 @@ class Kernel:
         try:
             while self._heap:
                 t_us, _, fn = heapq.heappop(self._heap)
+                HOT.kernel_heap_pops += 1
                 self.clock.advance_to(t_us)
                 fn()
                 handled += 1

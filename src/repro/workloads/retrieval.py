@@ -23,7 +23,8 @@ from repro.engine.processor import QueryProcessor
 from repro.engine.querylog import QueryLog
 from repro.storage.hierarchy import HierarchyConfig, StorageHierarchy
 
-__all__ = ["RunResult", "run_uncached", "run_cached", "sample_flash_series"]
+__all__ = ["RunResult", "run_uncached", "run_cached", "sample_flash_series",
+           "prepare_cached_manager"]
 
 
 @dataclass
@@ -99,6 +100,26 @@ def _build_manager(
                         telemetry=telemetry)
 
 
+def prepare_cached_manager(
+    index: InvertedIndex,
+    log: QueryLog,
+    cache_config: CacheConfig,
+    index_on: str = "hdd",
+    static_analyze_queries: int | None = None,
+    seed: int = 1234,
+    telemetry=None,
+) -> CacheManager:
+    """Build the manager exactly as :func:`run_cached` would, stopping
+    just before serving: hierarchy, processor (same ``seed``, so query
+    plans reproduce), and the CBSLRU static warmup.  Pass the result to
+    ``run_cached(..., manager=...)`` to time serving without setup."""
+    mgr = _build_manager(index, cache_config, index_on, seed,
+                         telemetry=telemetry)
+    if cache_config.policy is Policy.CBSLRU and cache_config.uses_ssd:
+        mgr.warmup_static(log, analyze_queries=static_analyze_queries)
+    return mgr
+
+
 def run_cached(
     index: InvertedIndex,
     log: QueryLog,
@@ -111,6 +132,7 @@ def run_cached(
     seed: int = 1234,
     label: str | None = None,
     telemetry=None,
+    manager: CacheManager | None = None,
 ) -> RunResult:
     """Replay a query log through the two-level cache.
 
@@ -121,12 +143,18 @@ def run_cached(
     ``idle_gc_us`` grants the SSD that much background-GC budget of
     host think time after every query.  ``telemetry`` attaches a
     :class:`~repro.obs.Telemetry` bundle to the manager for spans and
-    per-stage latency histograms.
+    per-stage latency histograms.  ``manager`` replays through an
+    already-built (and already statically-warmed) manager instead —
+    the bench harness uses this to time serving separately from setup;
+    ``cache_config`` must be the config the manager was built with.
     """
-    mgr = _build_manager(index, cache_config, index_on, seed,
-                         telemetry=telemetry)
-    if cache_config.policy is Policy.CBSLRU and cache_config.uses_ssd:
-        mgr.warmup_static(log, analyze_queries=static_analyze_queries)
+    if manager is not None:
+        mgr = manager
+    else:
+        mgr = _build_manager(index, cache_config, index_on, seed,
+                             telemetry=telemetry)
+        if cache_config.policy is Policy.CBSLRU and cache_config.uses_ssd:
+            mgr.warmup_static(log, analyze_queries=static_analyze_queries)
     queries = log.head(max_queries) if max_queries is not None else list(log)
     erase_base = mgr.ssd.erase_count if mgr.ssd else 0
     for i, query in enumerate(queries):
