@@ -14,7 +14,9 @@ cache, replays a query stream, and shows every exposition surface:
 * the on-disk telemetry dir (spans.jsonl / metrics.json / metrics.prom
   / audit.jsonl / timeline.jsonl),
 * the host profiler: wall-clock attribution by subsystem, hot-path
-  counters, and flamegraph-ready collapsed stacks (`repro profile`).
+  counters, and flamegraph-ready collapsed stacks (`repro profile`),
+* kernel blame: per-query critical-path decomposition under open-loop
+  load, differential tail blame, and the capacity model (`repro blame`).
 
 Run:  python examples/telemetry_tour.py
 """
@@ -34,9 +36,12 @@ from repro.obs import (
     DEFAULT_SLOS,
     Profiler,
     Telemetry,
+    assemble_queries,
+    blame_profiles,
     evaluate_slos,
     explain_subject,
     format_explanation,
+    format_query_blame,
     format_stage_breakdown,
     run_detectors,
     sparkline,
@@ -44,6 +49,7 @@ from repro.obs import (
     window_series,
     write_telemetry_dir,
 )
+from repro.workloads.openloop import PoissonArrivals, run_open_loop
 
 MB = 1024 * 1024
 
@@ -180,6 +186,34 @@ def main() -> None:
               f"({ns:,.0f} ns/op of wall)")
     print(f"  {len(profiler.folded_lines())} collapsed stacks ready for "
           f"flamegraph.pl")
+
+    # 12. Kernel blame: replay under open-loop arrivals on the
+    # concurrency kernel, then decompose every query's latency into
+    # admission wait + per-resource queue wait + service — exactly, with
+    # zero residual — and fit the capacity model (`repro blame DIR`).
+    tour_tel = Telemetry(trace=False, audit=False)
+    open_mgr = CacheManager(cfg, build_hierarchy_for(cfg, index), index,
+                            telemetry=tour_tel)
+    open_log = generate_query_log(
+        QueryLogConfig(num_queries=400, distinct_queries=300,
+                       vocab_size=10_000, seed=3))
+    run_open_loop(open_mgr, list(open_log), PoissonArrivals(60.0, seed=4),
+                  concurrency=4, max_queue=64, label="tour")
+    rec = tour_tel.blame
+    queries = assemble_queries(rec.records)
+    worst = max(queries, key=lambda q: q.total_us)
+    print(f"\nkernel blame: {len(queries)} queries decomposed, max "
+          f"|residual| {max(abs(q.residual_us) for q in queries):g} us")
+    print(format_query_blame(worst))
+    profiles = blame_profiles(queries, tail_pct=95.0)
+    print(f"tail blame verdict: {profiles['verdict']} (wait grew "
+          f"{profiles['wait_growth_us'][profiles['verdict']] / 1e3:.2f} ms "
+          f"tail vs median)")
+    cap = rec.capacity(completed=len(queries))
+    check = "ok" if cap["little_law_ok"] else "FAILED"
+    print(f"capacity: bottleneck {cap['bottleneck']} at "
+          f"{cap['bottleneck_utilization']:.0%}, knee ~{cap['knee_qps']:.0f} "
+          f"qps, Little's-law self-check {check}")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from repro.bench.harness import (
     write_bench,
 )
 from repro.bench.regression import (
+    BLAME_THRESHOLDS,
     DEFAULT_THRESHOLDS,
     HOST_WALL_METRIC,
     HOST_WALL_THRESHOLD,
@@ -41,6 +42,7 @@ __all__ = [
     "load_bench",
     "next_bench_path",
     "Regression",
+    "BLAME_THRESHOLDS",
     "DEFAULT_THRESHOLDS",
     "HOST_WALL_METRIC",
     "HOST_WALL_THRESHOLD",

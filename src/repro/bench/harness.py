@@ -35,6 +35,11 @@ Document schema (``repro.bench/v1``)::
      "methodology": {"name": "steady-state/v1", ...},
      "scenarios": {"<name>": {"config": {...}, "metrics": {...},
                               "measurement": {...}, "host": {...}}}}
+
+Open-loop scenarios additionally carry a ``blame`` block (wait
+fraction, bottleneck, knee estimate, Little's-law self-check and
+per-resource wait/service means from :mod:`repro.obs.blame`), gated by
+``compare_benches`` alongside the simulated metrics.
 """
 
 from __future__ import annotations
@@ -293,6 +298,30 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg,
     )
     wall = time.perf_counter() - t0
     timeline.finish()
+    rec = getattr(tel, "blame", None)
+    blame_block = None
+    if rec is not None and rec.admission is not None:
+        # Conservation must hold once the kernel has drained; a broken
+        # ledger here means the scenario, not the gate, is wrong.
+        rec.admission.check_invariants()
+        cap = rec.capacity(completed=result.completed)
+        per = cap["per_resource"]
+        wait = sum(rec.totals.get(name, (0, 0.0, 0.0))[1] for name in per)
+        service = sum(rec.totals.get(name, (0, 0.0, 0.0))[2] for name in per)
+        blame_block = {
+            "wait_fraction": (wait / (wait + service)
+                              if wait + service > 0 else 0.0),
+            "bottleneck": cap["bottleneck"],
+            "knee_qps": cap["knee_qps"],
+            "little_law_max_rel_err": cap["little_law_max_rel_err"],
+            "little_law_ok": cap["little_law_ok"],
+            "per_resource": {
+                name: {"utilization": e["utilization"],
+                       "mean_wait_us": e["mean_wait_us"],
+                       "mean_service_us": e["mean_service_us"]}
+                for name, e in per.items()
+            },
+        }
 
     stats = manager.stats
     bottleneck = max(result.utilization, key=result.utilization.get,
@@ -329,8 +358,11 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg,
         "wall_us_per_query": wall * 1e6 / max(1, result.completed),
         "build_wall_s": build_wall,
     }
-    return {"config": scenario.to_dict(), "metrics": metrics,
-            "measurement": measurement, "host": host}
+    entry = {"config": scenario.to_dict(), "metrics": metrics,
+             "measurement": measurement, "host": host}
+    if blame_block is not None:
+        entry["blame"] = blame_block
+    return entry
 
 
 def run_suite(suite: str = "smoke", progress=None,

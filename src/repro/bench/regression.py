@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["Threshold", "Regression", "DEFAULT_THRESHOLDS",
-           "HOST_WALL_METRIC", "HOST_WALL_THRESHOLD",
+           "HOST_WALL_METRIC", "HOST_WALL_THRESHOLD", "BLAME_THRESHOLDS",
            "compare_benches", "format_regressions", "format_wall_report"]
 
 
@@ -87,6 +87,17 @@ UNGATED = {"wall_clock_s"}
 #: from gating on scheduler jitter.
 HOST_WALL_METRIC = "host.wall_us_per_query"
 HOST_WALL_THRESHOLD = Threshold("up", 0.30, abs_tol=200.0)
+
+#: Capacity-model gates over the per-scenario ``blame`` block (open-loop
+#: scenarios only).  The knee estimate falling means the modeled
+#: capacity ceiling dropped; wait fraction rising means queueing grew at
+#: unchanged load; the Little's-law error rising means the blame
+#: instrumentation itself disagrees with the depth accounting.
+BLAME_THRESHOLDS: dict[str, Threshold] = {
+    "knee_qps": Threshold("down", 0.15, abs_tol=2.0),
+    "wait_fraction": Threshold("up", 0.15, abs_tol=0.05),
+    "little_law_max_rel_err": Threshold("up", 0.5, abs_tol=0.02),
+}
 
 
 def _threshold_for(metric: str,
@@ -170,6 +181,24 @@ def compare_benches(
             if delta > t.abs_tol and delta / abs(base_wall) > t.rel_tol:
                 out.append(Regression(name, HOST_WALL_METRIC,
                                       base_wall, cur_wall, t))
+        # Capacity model: gated when both sides carry a blame block
+        # (open-loop scenarios); pre-blame baselines skip.
+        base_blame = base_entry.get("blame") or {}
+        cur_blame = cur_entry.get("blame") or {}
+        for metric, t in BLAME_THRESHOLDS.items():
+            base_val = base_blame.get(metric)
+            cur_val = cur_blame.get(metric)
+            if base_val is None or cur_val is None:
+                continue
+            delta = cur_val - base_val
+            if t.bad_direction == "down":
+                delta = -delta
+            if delta <= t.abs_tol:
+                continue
+            if base_val != 0 and delta / abs(base_val) <= t.rel_tol:
+                continue
+            out.append(Regression(name, f"blame.{metric}",
+                                  base_val, cur_val, t))
     return out
 
 

@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the per-stage breakdown of a telemetry dir")
     p.add_argument("dir", type=str,
                    help="directory written by `repro run --telemetry`")
+    p.add_argument("--format", choices=("text", "openmetrics"),
+                   default="text",
+                   help="'openmetrics' dumps the metrics snapshot as "
+                        "OpenMetrics text exposition instead of the "
+                        "human report")
 
     p = sub.add_parser("timeline",
                        help="render a timeline.jsonl as sparkline charts "
@@ -128,6 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero when an SLO is violated or a "
                         "critical anomaly fires")
+
+    p = sub.add_parser("blame",
+                       help="per-query critical-path attribution and "
+                            "capacity model from a kernel run's blame "
+                            "records")
+    p.add_argument("path", type=str,
+                   help="telemetry dir (blame.jsonl inside) or a "
+                        "blame.jsonl file")
+    p.add_argument("--tail-pct", type=float, default=99.0,
+                   help="percentile cut for the tail cohort (default 99)")
+    p.add_argument("--query", type=int, default=None, metavar="QID",
+                   help="also print one query's full decomposition "
+                        "(by qid tag, falling back to task name q<QID>)")
+    p.add_argument("--top", type=int, default=5,
+                   help="slowest queries to list individually (default 5)")
 
     p = sub.add_parser("explain",
                        help="reconstruct one subject's decision history from "
@@ -280,6 +300,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         os.makedirs(args.telemetry, exist_ok=True)
         telemetry.tracer.open_stream(os.path.join(args.telemetry,
                                                   "spans.jsonl"))
+        # Kernel blame records stream the same way once a kernel is
+        # observed; closed-loop concurrency-1 runs have no kernel and
+        # simply never open the file.
+        telemetry.stream_blame(os.path.join(args.telemetry, "blame.jsonl"))
         if args.timeline:
             # Windows stream the same way: each one is written the
             # moment it closes.
@@ -417,6 +441,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"to {args.telemetry}/")
         if written["dropped_spans"]:
             print(f"({written['dropped_spans']} spans dropped past the cap)")
+        if written.get("blame_records"):
+            print(f"blame: {written['blame_records']} kernel records -> "
+                  f"{args.telemetry}/blame.jsonl "
+                  f"(see `repro blame {args.telemetry}`)")
         if args.timeline:
             from repro.obs import steady_state_window
 
@@ -460,6 +488,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import (
         format_stage_breakdown,
         load_metrics_json,
+        openmetrics_text,
         validate_telemetry_dir,
     )
 
@@ -470,6 +499,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: {args.dir}: not a usable telemetry directory ({exc})",
               file=sys.stderr)
         return 2
+    if args.format == "openmetrics":
+        sys.stdout.write(openmetrics_text(snapshot))
+        return 0
     print(format_stage_breakdown(
         snapshot, title=f"per-stage latency ({args.dir})"))
     line = f"\n{counts['spans']} spans, {counts['metrics']} metrics"
@@ -568,6 +600,99 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
     if args.strict and (any(r.verdict == "violated" for r in results)
                         or any(a.severity == "critical" for a in anomalies)):
+        return 1
+    return 0
+
+
+def _resolve_blame_path(path: str) -> str:
+    import os
+
+    if os.path.isdir(path):
+        return os.path.join(path, "blame.jsonl")
+    return path
+
+
+def _load_blame_queries(path: str):
+    """Load a blame file and assemble per-query decompositions.
+
+    Returns ``(log, queries)`` or raises ValueError/OSError.
+    """
+    from repro.obs import assemble_queries, load_blame_jsonl
+
+    log = load_blame_jsonl(path)
+    return log, assemble_queries(log.records)
+
+
+def _match_blame_query(queries, query_id: int):
+    """Blame entries for one query id.
+
+    The ``qid`` tag is authoritative — it is the same counter exemplars
+    and spans carry.  The ``q<N>`` task name falls back for runs whose
+    recorder predates tagging (shed arrivals offset names from qids).
+    """
+    match = [q for q in queries if q.qid == query_id]
+    if not match:
+        match = [q for q in queries
+                 if q.qid is None and q.name == f"q{query_id}"]
+    return match
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        blame_profiles,
+        capacity_model,
+        format_blame_report,
+        format_query_blame,
+    )
+
+    path = _resolve_blame_path(args.path)
+    try:
+        log, queries = _load_blame_queries(path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {path}: not a usable blame file ({exc}); record one "
+              f"with `repro run --arrival poisson ... --telemetry DIR`",
+              file=sys.stderr)
+        return 2
+    if not queries:
+        print(f"error: {path}: no completed queries recorded",
+              file=sys.stderr)
+        return 2
+
+    profiles = blame_profiles(queries, tail_pct=args.tail_pct)
+    footer = log.footer or {}
+    horizon = footer.get("end_us", 0.0) - footer.get("start_us", 0.0)
+    completed = footer.get("completed", len(queries))
+    capacity = capacity_model(log.resources, horizon, completed=completed)
+    print(format_blame_report(queries, profiles, capacity))
+
+    if args.top > 0:
+        print(f"\nslowest {min(args.top, len(queries))} queries:")
+        for q in sorted(queries, key=lambda q: -q.total_us)[:args.top]:
+            wait = q.admission_wait_us + sum(q.wait_us.values())
+            top_res = max(q.wait_us, key=q.wait_us.get, default=None)
+            line = (f"  task {q.task} ({q.name}"
+                    + (f", qid {q.qid}" if q.qid is not None else "")
+                    + f"): {q.total_us / 1000:.2f} ms, "
+                    f"{wait / q.total_us:.0%} waiting")
+            if top_res is not None:
+                line += f" (mostly {top_res})"
+            if q.straggler:
+                line += f", straggler {q.straggler}"
+            print(line)
+
+    if args.query is not None:
+        match = _match_blame_query(queries, args.query)
+        print()
+        if not match:
+            print(f"query {args.query}: no blame record (qid tag or task "
+                  f"name q{args.query})")
+            return 1
+        for q in match:
+            print(format_query_blame(q))
+    if not capacity.get("little_law_ok", True):
+        print("\nwarning: Little's-law self-check failed — the blame "
+              "instrumentation disagrees with the kernel's depth "
+              "accounting", file=sys.stderr)
         return 1
     return 0
 
@@ -840,11 +965,27 @@ def _explain_query(dir_path: str, query_id: int) -> int:
         return 2
     tl = load_timeline_jsonl(timeline_path)
     exemplars = [e for e in tl.exemplars if e.get("query_id") == query_id]
-    if not exemplars:
+
+    # Kernel blame decomposes every query, not just the tail ones, so a
+    # blame match keeps the command useful even without an exemplar.
+    blame_match = []
+    blame_path = os.path.join(dir_path, "blame.jsonl")
+    if os.path.exists(blame_path):
+        try:
+            _, blame_queries = _load_blame_queries(blame_path)
+        except (ValueError, OSError):
+            blame_queries = []
+        blame_match = _match_blame_query(blame_queries, query_id)
+
+    if not exemplars and not blame_match:
         print(f"no tail exemplars for query {query_id} — only samples above "
               f"the capture percentile are recorded; see the exemplar lines "
               f"in {timeline_path} for the queries that are")
         return 1
+    if not exemplars:
+        print(f"no tail exemplars for query {query_id} — only samples above "
+              f"the capture percentile are recorded — but the kernel blame "
+              f"stream decomposed it:")
 
     spans = {}
     spans_path = os.path.join(dir_path, "spans.jsonl")
@@ -862,7 +1003,8 @@ def _explain_query(dir_path: str, query_id: int) -> int:
     if os.path.exists(audit_path):
         audit = load_audit_jsonl(audit_path)
 
-    print(f"query {query_id}: {len(exemplars)} tail exemplar(s)")
+    if exemplars:
+        print(f"query {query_id}: {len(exemplars)} tail exemplar(s)")
     for ex in exemplars:
         print(f"\nexemplar: {ex['metric']} = {ex['value_us']:.1f} us "
               f"(window {ex['window']}, t = {ex.get('t_us', 0.0):.1f} us)")
@@ -889,6 +1031,15 @@ def _explain_query(dir_path: str, query_id: int) -> int:
                 data = " ".join(f"{k}={v}" for k, v in r["data"].items())
                 print(f"    t={r['t_us']:.1f} {r['type']} "
                       f"{r['kind']}:{r['key']} {data}".rstrip())
+
+    # Kernel blame: where the microseconds queued vs served, when the
+    # run went through the concurrency kernel (blame.jsonl present).
+    if blame_match:
+        from repro.obs import format_query_blame
+
+        print("\nkernel blame (wait vs service per resource):")
+        for q in blame_match:
+            print(format_query_blame(q))
     return 0
 
 
@@ -1061,6 +1212,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "report": _cmd_report,
         "timeline": _cmd_timeline,
+        "blame": _cmd_blame,
         "explain": _cmd_explain,
         "compare": _cmd_compare,
         "bench": _cmd_bench,

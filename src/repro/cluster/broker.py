@@ -189,6 +189,7 @@ class Broker:
         max_queue: int = 64,
         cpu_lanes: int = 1,
         label: str = "cluster",
+        blame=None,
     ):
         """Serve ``queries`` open-loop with concurrent shard fan-out.
 
@@ -197,6 +198,11 @@ class Broker:
         (fan-out max emerges from the join, stragglers and all), then
         pays the merge cost on a ``broker`` CPU resource.  Returns an
         :class:`~repro.workloads.openloop.OpenLoopResult`.
+
+        ``blame`` optionally takes a
+        :class:`~repro.obs.blame.BlameRecorder`; it is attached to the
+        fan-out kernel and admission control, so per-query critical
+        paths cross the join into the straggler shard's resources.
         """
         from repro.sim.kernel import AdmissionControl, Kernel
         from repro.workloads.openloop import (OpenLoopResult,
@@ -217,6 +223,8 @@ class Broker:
         kernel.add_resource("broker", lanes=max(1, cpu_lanes))
         admission = AdmissionControl(kernel, max_inflight=concurrency,
                                      max_queue=max_queue)
+        if blame is not None:
+            blame.attach(kernel, admission)
 
         start_us = clock.now_us
         responses: list[float] = []

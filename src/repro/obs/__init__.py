@@ -29,9 +29,23 @@ from repro.obs.audit import (
     format_explanation,
     load_audit_jsonl,
 )
+from repro.obs.blame import (
+    BLAME_SCHEMA,
+    BlameLog,
+    BlameRecorder,
+    QueryBlame,
+    assemble_queries,
+    blame_profiles,
+    capacity_model,
+    format_blame_report,
+    format_query_blame,
+    load_blame_jsonl,
+    validate_blame_jsonl,
+)
 from repro.obs.cache_metrics import CacheEventMetrics, CacheStatsMetrics
 from repro.obs.export import (
     load_metrics_json,
+    openmetrics_text,
     prometheus_text,
     validate_telemetry_dir,
     write_metrics_json,
@@ -71,6 +85,7 @@ from repro.obs.slo import (
     SloResult,
     SloSpec,
     detect_shard_skew,
+    detect_wait_dominated,
     evaluate_slo,
     evaluate_slos,
     parse_slo,
@@ -137,8 +152,21 @@ __all__ = [
     "evaluate_slos",
     "run_detectors",
     "detect_shard_skew",
+    "detect_wait_dominated",
     "DEFAULT_SLOS",
+    "BLAME_SCHEMA",
+    "BlameRecorder",
+    "BlameLog",
+    "QueryBlame",
+    "assemble_queries",
+    "blame_profiles",
+    "capacity_model",
+    "format_blame_report",
+    "format_query_blame",
+    "load_blame_jsonl",
+    "validate_blame_jsonl",
     "prometheus_text",
+    "openmetrics_text",
     "write_metrics_json",
     "load_metrics_json",
     "write_telemetry_dir",

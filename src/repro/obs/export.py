@@ -8,6 +8,8 @@ A telemetry directory (``repro run --telemetry DIR``) holds::
     audit.jsonl     the decision audit trail (present when auditing is on)
     timeline.jsonl  windowed time series (present when a timeline is
                     attached; schema repro.obs.timeline/v1)
+    blame.jsonl     per-request kernel blame records (present for runs
+                    under the concurrency kernel; repro.obs.blame/v1)
 
 :func:`validate_telemetry_dir` is the schema check used by both the CI
 smoke job and ``repro report``.
@@ -22,6 +24,7 @@ from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "prometheus_text",
+    "openmetrics_text",
     "write_metrics_json",
     "write_telemetry_dir",
     "load_metrics_json",
@@ -77,6 +80,97 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
+_OM_QUANTILES = ("0.5", "0.9", "0.95", "0.99", "0.999")
+
+
+def _om_escape(value) -> str:
+    """Escape a label value per the OpenMetrics ABNF."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _om_labels(tags: dict, extra: dict | None = None) -> str:
+    labels = dict(tags)
+    if extra:
+        labels.update(extra)
+    if not labels:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{_om_escape(v)}"'
+                    for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _om_rows(source):
+    """Normalize a registry or a metrics.json snapshot to exposition rows.
+
+    Yields ``(name, tags, kind, data)`` where ``data`` is the scalar
+    value for counters/gauges and a ``{count, sum, quantiles}`` dict for
+    histograms.
+    """
+    if isinstance(source, MetricsRegistry):
+        for name, tags, inst in source.items():
+            if inst.kind == "histogram":
+                qs = (dict(zip(_OM_QUANTILES, inst.percentiles()))
+                      if inst.count else {})
+                yield name, tags, "histogram", {
+                    "count": inst.count, "sum": inst.sum, "quantiles": qs}
+            else:
+                yield name, tags, inst.kind, inst.value
+        return
+    if source.get("schema") != "repro.obs.metrics/v1":
+        raise ValueError("openmetrics_text: not a repro.obs metrics snapshot")
+    for m in source.get("metrics", []):
+        if m["kind"] == "histogram":
+            qs = (dict(zip(_OM_QUANTILES,
+                           (m["p50"], m["p90"], m["p95"], m["p99"],
+                            m["p999"])))
+                  if m.get("count") else {})
+            yield m["name"], m["tags"], "histogram", {
+                "count": m.get("count", 0), "sum": m.get("sum", 0.0),
+                "quantiles": qs}
+        else:
+            yield m["name"], m["tags"], m["kind"], m["value"]
+
+
+def openmetrics_text(source) -> str:
+    """Render a registry *or* a metrics.json snapshot as OpenMetrics text.
+
+    Follows the OpenMetrics 1.0 exposition rules that differ from the
+    legacy Prometheus format: counter metric families drop their
+    ``_total`` suffix in the ``# TYPE`` line (samples keep it), label
+    values escape ``\\``, ``"`` and newlines, histograms render as
+    summaries (quantile series plus ``_sum``/``_count``), and the
+    output terminates with ``# EOF``.  This is what
+    ``repro report DIR --format openmetrics`` emits.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, tags, kind, data in _om_rows(source):
+        pname = _prom_name(name)
+        if kind == "counter":
+            family = pname[:-6] if pname.endswith("_total") else pname
+            if family not in typed:
+                lines.append(f"# TYPE {family} counter")
+                typed.add(family)
+            lines.append(f"{family}_total{_om_labels(tags)} {data}")
+        elif kind == "gauge":
+            if pname not in typed:
+                lines.append(f"# TYPE {pname} gauge")
+                typed.add(pname)
+            lines.append(f"{pname}{_om_labels(tags)} {data}")
+        else:
+            if pname not in typed:
+                lines.append(f"# TYPE {pname} summary")
+                typed.add(pname)
+            for q, v in data["quantiles"].items():
+                lines.append(
+                    f"{pname}{_om_labels(tags, {'quantile': q})} {v}")
+            lines.append(f"{pname}_sum{_om_labels(tags)} {data['sum']}")
+            lines.append(f"{pname}_count{_om_labels(tags)} {data['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
 def write_metrics_json(registry: MetricsRegistry, path) -> None:
     with open(path, "w") as fh:
         json.dump(registry.snapshot(), fh, indent=1)
@@ -117,6 +211,10 @@ def write_telemetry_dir(telemetry, out_dir) -> dict:
     if timeline is not None:
         timeline.export_jsonl(os.path.join(out_dir, "timeline.jsonl"))
         summary["timeline_windows"] = timeline.emitted
+    blame = getattr(telemetry, "blame", None)
+    if blame is not None:
+        summary["blame_records"] = blame.export_jsonl(
+            os.path.join(out_dir, "blame.jsonl"))
     return summary
 
 
@@ -171,4 +269,10 @@ def validate_telemetry_dir(out_dir) -> dict:
         tl = validate_timeline_jsonl(timeline_path)
         counts["timeline_windows"] = tl["windows"]
         counts["exemplars"] = tl["exemplars"]
+    blame_path = os.path.join(out_dir, "blame.jsonl")
+    if os.path.exists(blame_path):
+        from repro.obs.blame import validate_blame_jsonl
+
+        counts["blame_records"] = sum(validate_blame_jsonl(blame_path)
+                                      .values())
     return counts

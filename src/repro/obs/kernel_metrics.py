@@ -14,6 +14,11 @@ metric                             kind    source
 ``inflight_queries``               gauge   ``AdmissionControl.inflight``
 ``kernel_served_total{resource}``  counter ``Resource.served``
 ``kernel_busy_us_total{resource}`` counter ``Resource.busy_us``
+``kernel_depth_area_us_total{..}`` counter ``Resource.depth_area_us``
+                                           (depth-time integral; the
+                                           measured ``L`` side of the
+                                           blame layer's Little's-law
+                                           self-check)
 ``arrivals_total``                 counter ``AdmissionStats.arrived``
 ``admission_rejected_total``       counter ``AdmissionStats.rejected``
 ``admission_completed_total``      counter ``AdmissionStats.completed``
@@ -48,6 +53,7 @@ class KernelMetrics:
         self.admission = admission
         self._served: dict[str, int] = {}
         self._busy: dict[str, float] = {}
+        self._area: dict[str, float] = {}
         self._arrived = 0
         self._rejected = 0
         self._completed = 0
@@ -68,6 +74,14 @@ class KernelMetrics:
                     res.busy_us - prev_busy
                 )
                 self._busy[res.name] = res.busy_us
+            res.accrue_depth(self.kernel.clock.now_us)
+            prev_area = self._area.get(res.name, 0.0)
+            if res.depth_area_us > prev_area:
+                reg.counter("kernel_depth_area_us_total",
+                            resource=res.name).inc(
+                    res.depth_area_us - prev_area
+                )
+                self._area[res.name] = res.depth_area_us
         ad = self.admission
         if ad is None:
             return

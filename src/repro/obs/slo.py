@@ -40,6 +40,7 @@ __all__ = [
     "detect_hit_ratio_drift",
     "detect_write_amp_spike",
     "detect_queue_buildup",
+    "detect_wait_dominated",
     "detect_shard_skew",
     "run_detectors",
     "DEFAULT_SLOS",
@@ -241,11 +242,46 @@ def detect_queue_buildup(windows, k: int = 3,
     return out
 
 
+def detect_wait_dominated(windows, frac: float = 0.75, k: int = 4,
+                          critical_frac: float = 0.95,
+                          critical_k: int = 8) -> list[Anomaly]:
+    """Queueing wait crowding out service in the kernel's blame counters.
+
+    Watches the derived ``wait_fraction`` series (queue wait / (wait +
+    service), from the blame recorder's per-resource counters).  A run
+    of ``k`` consecutive windows at or above ``frac`` flags a ``warn``
+    — queries now spend most of their time waiting, the leading edge of
+    tail inflation.  Only a run of ``critical_k`` windows at or above
+    ``critical_frac`` escalates to ``critical``: sustained near-total
+    wait domination is the past-the-knee signature, while merely-high
+    fractions are expected when running close to (but under) capacity,
+    so the strict CI gate doesn't fire on a healthy ~80%-load run.
+    """
+    pts = window_series(windows, "wait_fraction")
+    out = []
+    warn_run = crit_run = 0
+    for w, v in pts:
+        warn_run = warn_run + 1 if v >= frac else 0
+        crit_run = crit_run + 1 if v >= critical_frac else 0
+        if crit_run >= critical_k:
+            out.append(Anomaly(
+                "wait_dominated", w, "critical",
+                f"wait fraction >= {critical_frac:.0%} for {crit_run} "
+                f"windows (now {v:.1%})"))
+        elif warn_run >= k:
+            out.append(Anomaly(
+                "wait_dominated", w, "warn",
+                f"wait fraction >= {frac:.0%} for {warn_run} windows "
+                f"(now {v:.1%})"))
+    return out
+
+
 def run_detectors(windows) -> list[Anomaly]:
     """All single-run detectors, ordered by window."""
     out = (detect_hit_ratio_drift(windows)
            + detect_write_amp_spike(windows)
-           + detect_queue_buildup(windows))
+           + detect_queue_buildup(windows)
+           + detect_wait_dominated(windows))
     return sorted(out, key=lambda a: (a.window, a.detector))
 
 

@@ -74,6 +74,8 @@ class Telemetry:
         self._stats: list[CacheStatsMetrics] = []
         self._occupancy: list = []
         self._exemplar_hists: set[int] = set()
+        self.blame = None
+        self._blame_stream_path: str | None = None
 
     def bind_clock(self, clock) -> None:
         """Late-bind the tracer and audit log to a clock (managers own
@@ -142,7 +144,24 @@ class Telemetry:
 
         bridge = KernelMetrics(self.registry, kernel, admission=admission)
         self._kernels.append(bridge)
+        if self.blame is None:
+            from repro.obs.blame import BlameRecorder
+
+            self.blame = BlameRecorder(registry=self.registry)
+            if self._blame_stream_path is not None:
+                self.blame.open_stream(self._blame_stream_path)
+        self.blame.attach(kernel, admission=admission)
         return bridge
+
+    def stream_blame(self, path: str) -> None:
+        """Stream blame records to ``path`` as they are emitted.
+
+        May be called before any kernel exists; the stream opens as soon
+        as :meth:`observe_kernel` creates the recorder.
+        """
+        self._blame_stream_path = path
+        if self.blame is not None:
+            self.blame.open_stream(path)
 
     def observe_flash(self, ssd, endurance_cycles: int = 5000):
         """Register a flash device for wear/GC/WA collection.
@@ -239,5 +258,7 @@ class Telemetry:
         self._bridges.clear()
         if self.timeline is not None:
             self.timeline.finish()
+        if self.blame is not None:
+            self.blame.finish()
         self.audit.close()
         self.tracer.close_stream()

@@ -87,7 +87,7 @@ TIMELINE_SCHEMA = "repro.obs.timeline/v1"
 #: source instruments exist): see :func:`derive_window`.
 DERIVED_SERIES = ("queries", "hit_ratio", "p50_response_us",
                   "p99_response_us", "p999_response_us", "write_amp",
-                  "erases", "queue_depth")
+                  "erases", "queue_depth", "wait_fraction")
 
 
 def series_key(name: str, tags: dict) -> str:
@@ -467,6 +467,11 @@ def derive_window(rec: dict) -> dict:
             depth = sum(matched) if depth is None else depth + sum(matched)
     if depth is not None:
         out["queue_depth"] = depth
+
+    wait = _sum_matching(counters, "blame_wait_us_total")
+    service = _sum_matching(counters, "blame_service_us_total")
+    if wait + service > 0:
+        out["wait_fraction"] = wait / (wait + service)
     return out
 
 

@@ -71,7 +71,7 @@ class Resource:
     """
 
     __slots__ = ("name", "lanes", "queue", "in_service", "served",
-                 "busy_us", "peak_depth")
+                 "busy_us", "peak_depth", "depth_area_us", "_area_t_us")
 
     def __init__(self, name: str, lanes: int = 1) -> None:
         if lanes < 1:
@@ -83,11 +83,27 @@ class Resource:
         self.served = 0
         self.busy_us = 0.0
         self.peak_depth = 0
+        #: Time integral of :attr:`depth` (request-microseconds).  Kept by
+        #: the kernel at every depth transition, so ``depth_area_us /
+        #: horizon`` is the time-average number in system — an L
+        #: measurement *independent* of per-request sojourn records, which
+        #: is what makes the Little's-law self-check in
+        #: :mod:`repro.obs.blame` a genuine cross-check.
+        self.depth_area_us = 0.0
+        self._area_t_us = 0.0
 
     @property
     def depth(self) -> int:
         """Requests currently waiting or in service."""
         return len(self.queue) + self.in_service
+
+    def accrue_depth(self, now_us: float) -> None:
+        """Extend the depth-time integral up to ``now_us`` at the current
+        depth.  Called by the kernel *before* each depth change (and by
+        observers before reading :attr:`depth_area_us`)."""
+        if now_us > self._area_t_us:
+            self.depth_area_us += self.depth * (now_us - self._area_t_us)
+            self._area_t_us = now_us
 
     def utilization(self, horizon_us: float) -> float:
         """Lane-seconds busy over the horizon (1.0 = all lanes saturated)."""
@@ -105,6 +121,11 @@ class _Request:
     task: "Task"
     service_us: float
     charge: bool
+    #: When the request joined the resource (queue or lane) — set by
+    #: :meth:`Kernel.serve`; ``start_us`` is set when a lane picks it up.
+    #: ``start_us - enqueue_us`` is therefore the *exact* queue wait.
+    enqueue_us: float = 0.0
+    start_us: float = 0.0
 
 
 class Task:
@@ -155,7 +176,11 @@ class Task:
         if caller is self:
             raise KernelError(f"task {self.name!r} cannot join itself")
         self._joiners.append(caller)
+        blame = k.blame
+        t0 = k.clock.now_us if blame is not None else 0.0
         k._block(caller)
+        if blame is not None:
+            blame.on_join(caller, self, t0, k.clock.now_us)
         return self.result
 
     # -- thread body -------------------------------------------------------
@@ -205,6 +230,11 @@ class Kernel:
         self._kernel_wake = threading.Event()
         self._alive: list[Task] = []
         self._running = False
+        #: Optional :class:`~repro.obs.blame.BlameRecorder` (or anything
+        #: with its hook methods).  Purely observational: every hook fires
+        #: after the schedule is already decided, so attaching one never
+        #: changes simulated outcomes.
+        self.blame = None
         clock.bind_kernel(self)
 
     # -- resources ---------------------------------------------------------
@@ -265,6 +295,14 @@ class Kernel:
         default); returns the :class:`Task` immediately."""
         task = Task(self, fn, name)
         self._alive.append(task)
+        if self.blame is not None:
+            # Only a live, unfinished task counts as the parent: spawns
+            # from admission-control done-callbacks run on the *finishing*
+            # task's thread and are roots, not children.
+            cur = self._current
+            parent = (cur if cur is not None and not cur.done
+                      and cur.thread is threading.current_thread() else None)
+            self.blame.on_spawn(task, parent, self.clock.now_us)
         task.thread.start()
         self.at(self.clock.now_us if at_us is None else at_us,
                 lambda: self._dispatch(task))
@@ -286,7 +324,9 @@ class Kernel:
         if service_us < 0:
             raise ValueError(f"negative service time: {service_us}")
         res = self.resource(channel)
-        req = _Request(task, float(service_us), charge)
+        res.accrue_depth(self.clock.now_us)
+        req = _Request(task, float(service_us), charge,
+                       enqueue_us=self.clock.now_us)
         if res.in_service < res.lanes:
             self._start_service(res, req)
         else:
@@ -365,15 +405,21 @@ class Kernel:
 
     def _start_service(self, res: Resource, req: _Request) -> None:
         res.in_service += 1
+        req.start_us = self.clock.now_us
         end_us = self.clock.now_us + req.service_us
         self.at(end_us, lambda: self._complete(res, req))
 
     def _complete(self, res: Resource, req: _Request) -> None:
+        now = self.clock.now_us
+        res.accrue_depth(now)
         res.in_service -= 1
         res.served += 1
         res.busy_us += req.service_us
         if req.charge:
             self.clock.charge(res.name, req.service_us)
+        if self.blame is not None:
+            self.blame.on_serve(req.task, res.name,
+                                req.enqueue_us, req.start_us, now)
         if res.queue and res.in_service < res.lanes:
             self._start_service(res, res.queue.popleft())
         self._dispatch(req.task)
@@ -382,6 +428,8 @@ class Kernel:
         """Completion bookkeeping, run on the finishing task's thread."""
         self._alive.remove(task)
         now = self.clock.now_us
+        if self.blame is not None:
+            self.blame.on_task_end(task, now)
         for joiner in task._joiners:
             self.at(now, lambda j=joiner: self._dispatch(j))
         task._joiners.clear()
@@ -438,6 +486,7 @@ class AdmissionControl:
         self.peak_depth = 0
         self.stats = AdmissionStats()
         self._waiting: deque = deque()
+        self.blame = None
 
     @property
     def queue_depth(self) -> int:
@@ -452,29 +501,37 @@ class AdmissionControl:
     def submit(self, fn, name: str = "job") -> bool:
         """Admit or shed one job; returns False when shed (rejected)."""
         self.stats.arrived += 1
+        arrival = self.kernel.clock.now_us
         if self.inflight < self.max_inflight:
-            self._start(fn, name)
+            self._start(fn, name, arrival)
         elif len(self._waiting) < self.max_queue:
-            self._waiting.append((fn, name))
+            self._waiting.append((fn, name, arrival))
         else:
             self.stats.rejected += 1
+            if self.blame is not None:
+                self.blame.on_shed(name, arrival)
             return False
         if self.depth > self.peak_depth:
             self.peak_depth = self.depth
         return True
 
-    def _start(self, fn, name: str) -> None:
+    def _start(self, fn, name: str, arrival_us: float) -> None:
         self.inflight += 1
         self.stats.admitted += 1
         task = self.kernel.spawn(fn, name=name)
+        if self.blame is not None:
+            self.blame.on_job_start(task, name, arrival_us,
+                                    self.kernel.clock.now_us)
         task.add_done_callback(self._job_done)
 
     def _job_done(self, task: Task) -> None:
         self.inflight -= 1
         self.stats.completed += 1
+        if self.blame is not None:
+            self.blame.on_job_done(task, self.kernel.clock.now_us)
         if self._waiting and self.inflight < self.max_inflight:
-            fn, name = self._waiting.popleft()
-            self._start(fn, name)
+            fn, name, arrival = self._waiting.popleft()
+            self._start(fn, name, arrival)
 
     def check_invariants(self) -> None:
         """Conservation: every arrival is queued, in flight, done or shed."""

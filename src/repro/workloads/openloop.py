@@ -282,6 +282,7 @@ def run_open_loop(
     tel = manager.telemetry
     if tel is not None and hasattr(tel, "observe_kernel"):
         tel.observe_kernel(kernel, admission)
+    blame = getattr(tel, "blame", None)
 
     start_us = clock.now_us
     responses: list[float] = []
@@ -292,6 +293,11 @@ def run_open_loop(
 
         def body():
             begin = clock.now_us
+            if blame is not None:
+                # No yield point between here and process_query's own
+                # stats read (strict handoff), so this qid is exactly
+                # the one the query's spans and exemplars will carry.
+                blame.tag_current(qid=manager.stats.queries)
             manager.process_query(query)
             waits.append(begin - arrival_us)
             responses.append(clock.now_us - arrival_us)

@@ -139,6 +139,27 @@ def test_open_loop_host_block_is_timing_only(tiny_open_entry):
     assert "subsystem_shares" not in host
 
 
+def test_closed_loop_entry_has_no_blame_block(tiny_entry):
+    # Blame requires the concurrency kernel; closed-loop replays never
+    # grow the block, so pre-existing baselines stay byte-identical.
+    assert "blame" not in tiny_entry
+
+
+def test_open_loop_entry_has_blame_block(tiny_open_entry):
+    blame = tiny_open_entry["blame"]
+    assert 0.0 <= blame["wait_fraction"] <= 1.0
+    assert isinstance(blame["bottleneck"], str) and blame["bottleneck"]
+    assert blame["knee_qps"] > 0
+    assert blame["little_law_ok"]
+    assert blame["little_law_max_rel_err"] < 0.05
+    per = blame["per_resource"]
+    assert blame["bottleneck"] in per
+    for entry in per.values():
+        assert 0.0 <= entry["utilization"] <= 1.0
+        assert entry["mean_wait_us"] >= 0.0
+        assert entry["mean_service_us"] >= 0.0
+
+
 def test_open_loop_scenario_is_deterministic(tiny_open_entry):
     again = run_scenario(TINY_OPEN)["metrics"]
     first = dict(tiny_open_entry["metrics"])
@@ -325,6 +346,45 @@ def test_unshared_scenarios_are_skipped(tiny_entry):
     cur = {"schema": BENCH_SCHEMA, "suite": "tiny",
            "scenarios": {"renamed": copy.deepcopy(tiny_entry)}}
     assert compare_benches(cur, base) == []
+
+
+def make_open_doc(entry):
+    return {"schema": BENCH_SCHEMA, "suite": "tiny-open",
+            "scenarios": {"tiny-open": copy.deepcopy(entry)}}
+
+
+def test_blame_gate_fails_injected_regressions(tiny_open_entry):
+    base = make_open_doc(tiny_open_entry)
+    cur = make_open_doc(tiny_open_entry)
+    blame = cur["scenarios"]["tiny-open"]["blame"]
+    blame["knee_qps"] = \
+        base["scenarios"]["tiny-open"]["blame"]["knee_qps"] * 0.5 - 5
+    blame["wait_fraction"] = \
+        base["scenarios"]["tiny-open"]["blame"]["wait_fraction"] * 2 + 0.2
+    blame["little_law_max_rel_err"] = 0.5
+    regs = compare_benches(cur, base)
+    assert {r.metric for r in regs} >= {"blame.knee_qps",
+                                        "blame.wait_fraction",
+                                        "blame.little_law_max_rel_err"}
+    assert "blame.knee_qps fell" in format_regressions(regs)
+
+
+def test_blame_drift_within_tolerance_passes(tiny_open_entry):
+    base = make_open_doc(tiny_open_entry)
+    cur = make_open_doc(tiny_open_entry)
+    blame = cur["scenarios"]["tiny-open"]["blame"]
+    blame["knee_qps"] *= 0.95          # a 5% dip is within the 15% gate
+    blame["wait_fraction"] += 0.01     # inside the absolute slack
+    assert compare_benches(cur, base) == []
+
+
+def test_pre_blame_baseline_skips_blame_gate(tiny_open_entry):
+    base = make_open_doc(tiny_open_entry)
+    del base["scenarios"]["tiny-open"]["blame"]
+    cur = make_open_doc(tiny_open_entry)
+    cur["scenarios"]["tiny-open"]["blame"]["knee_qps"] = 0.1
+    assert not [r for r in compare_benches(cur, base)
+                if r.metric.startswith("blame.")]
 
 
 def test_custom_thresholds_override_defaults(tiny_entry):

@@ -317,6 +317,60 @@ def test_explain_query_requires_timeline_dir(tmp_path, capsys):
     assert "telemetry directory" in captured.err
 
 
+def _run_open_loop_telemetry(tmp_path):
+    out_dir = tmp_path / "tel"
+    rc = main(["run", "--policy", "cblru", "--docs", "100000",
+               "--queries", "200", "--mem-mb", "2", "--ssd-mb", "8",
+               "--arrival", "poisson", "--rate-qps", "60",
+               "--concurrency", "4", "--telemetry", str(out_dir)])
+    assert rc == 0
+    return out_dir
+
+
+def test_run_open_loop_streams_blame_and_blame_command(tmp_path, capsys):
+    from repro.obs import validate_blame_jsonl
+
+    out_dir = _run_open_loop_telemetry(tmp_path)
+    out = capsys.readouterr().out
+    assert "blame" in out
+    counts = validate_blame_jsonl(out_dir / "blame.jsonl")
+    assert counts["task"] >= 200  # every admitted query left a record
+    assert counts["footer"] == 1
+
+    rc = main(["blame", str(out_dir), "--top", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "capacity model" in out
+    assert "Little's-law self-check: ok" in out
+    assert "slowest 2 queries" in out
+
+    rc = main(["blame", str(out_dir), "--query", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "qid 0" in out
+    assert "residual 0.000 us" in out
+
+
+def test_blame_command_fails_cleanly_without_blame_file(tmp_path, capsys):
+    rc = main(["blame", str(tmp_path / "nothing")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "not a usable blame file" in captured.err
+
+
+def test_report_command_openmetrics_format(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    main(["run", "--policy", "lru", "--docs", "100000", "--queries", "150",
+          "--mem-mb", "2", "--ssd-mb", "8", "--telemetry", str(out_dir)])
+    capsys.readouterr()
+    rc = main(["report", str(out_dir), "--format", "openmetrics"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "# TYPE queries counter" in out
+    assert "queries_total" in out
+    assert out.endswith("# EOF\n")
+
+
 def test_bench_command_writes_document_and_gates(tmp_path, capsys):
     import json
 

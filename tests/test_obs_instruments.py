@@ -11,6 +11,7 @@ from repro.obs import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    openmetrics_text,
     prometheus_text,
 )
 
@@ -250,3 +251,58 @@ def test_prometheus_text_renders_all_kinds():
     assert 'quantile="0.5"' in text
     assert 'latency_us_count 2' in text
     assert text.endswith("\n")
+
+
+# -- openmetrics text exposition ---------------------------------------------
+
+def test_openmetrics_text_renders_all_kinds():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", level="l1").inc(4)
+    reg.gauge("occupancy").set(0.75)
+    reg.histogram("latency_us").record_many([10.0, 20.0])
+    text = openmetrics_text(reg)
+    # Counter families drop the _total suffix in TYPE; samples keep it.
+    assert "# TYPE hits counter" in text
+    assert 'hits_total{level="l1"} 4' in text
+    assert "# TYPE occupancy gauge" in text
+    assert "# TYPE latency_us summary" in text
+    assert 'latency_us{quantile="0.5"}' in text
+    assert "latency_us_count 2" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_openmetrics_accepts_snapshot_and_matches_registry():
+    reg = MetricsRegistry()
+    reg.counter("ops_total", kind="read").inc(7)
+    reg.gauge("depth", resource="ssd").set(3.0)
+    reg.histogram("wait_us").record_many([5.0, 15.0, 25.0])
+    assert openmetrics_text(reg.snapshot()) == openmetrics_text(reg)
+    with pytest.raises(ValueError, match="snapshot"):
+        openmetrics_text({"schema": "other/v1"})
+
+
+def _om_unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\":
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def test_openmetrics_label_escaping_round_trips():
+    hostile = 'sla="p99<5ms"\nback\\slash'
+    reg = MetricsRegistry()
+    reg.counter("evil_total", note=hostile).inc(1)
+    text = openmetrics_text(reg)
+    line = next(ln for ln in text.splitlines()
+                if ln.startswith("evil_total{"))
+    # The exposition line is one physical line with a quoted label value.
+    escaped = line[line.index('note="') + len('note="'):line.rindex('"')]
+    assert "\n" not in escaped
+    assert _om_unescape(escaped) == hostile

@@ -12,6 +12,7 @@ from repro.obs import (
 from repro.obs.slo import (
     detect_hit_ratio_drift,
     detect_queue_buildup,
+    detect_wait_dominated,
     detect_write_amp_spike,
 )
 
@@ -118,6 +119,42 @@ def test_detect_queue_buildup_escalates_to_critical():
     interrupted = [1, 2, 3, 4, 1, 2, 3, 4, 5]
     hits = detect_queue_buildup(windows({"queue_depth": interrupted}))
     assert all(h.severity == "warn" for h in hits)
+
+
+def test_detect_wait_dominated_warns_after_sustained_run():
+    calm = [0.3] * 8
+    assert not detect_wait_dominated(windows({"wait_fraction": calm}))
+    # Three high windows are not a run of four; the fourth flags warn.
+    short = [0.8, 0.8, 0.8, 0.3, 0.8]
+    assert not detect_wait_dominated(windows({"wait_fraction": short}))
+    sustained = [0.8] * 5
+    hits = detect_wait_dominated(windows({"wait_fraction": sustained}))
+    assert [(h.window, h.severity) for h in hits] == [(3, "warn"),
+                                                     (4, "warn")]
+    assert hits[0].detector == "wait_dominated"
+
+
+def test_detect_wait_dominated_escalates_only_past_the_knee():
+    # High-but-under-capacity fractions never reach critical: 0.90 for
+    # many windows stays warn, so --strict passes a healthy loaded run.
+    loaded = [0.90] * 12
+    hits = detect_wait_dominated(windows({"wait_fraction": loaded}))
+    assert hits and all(h.severity == "warn" for h in hits)
+    # Near-total wait domination sustained for critical_k escalates.
+    saturated = [0.97] * 9
+    hits = detect_wait_dominated(windows({"wait_fraction": saturated}))
+    assert hits[-1].severity == "critical"
+    assert [h.severity for h in hits].count("critical") == 2  # windows 7, 8
+    # A single dip resets the critical run but not necessarily the warn.
+    interrupted = [0.97] * 7 + [0.80] + [0.97] * 7
+    hits = detect_wait_dominated(windows({"wait_fraction": interrupted}))
+    assert all(h.severity == "warn" for h in hits)
+
+
+def test_run_detectors_includes_wait_dominated():
+    w = windows({"wait_fraction": [0.8] * 6})
+    anomalies = run_detectors(w)
+    assert {a.detector for a in anomalies} == {"wait_dominated"}
 
 
 def test_run_detectors_orders_by_window():

@@ -38,6 +38,23 @@ def test_utilization_is_lane_normalised():
     res.busy_us = 50.0
     assert res.utilization(100.0) == pytest.approx(0.25)
     assert res.utilization(0.0) == 0.0
+    # A degenerate (negative) horizon reports idle, not a nonsense ratio.
+    assert res.utilization(-10.0) == 0.0
+
+
+def test_depth_area_integrates_queue_occupancy():
+    """FIFO burst of three 10us jobs: depth steps 3 -> 2 -> 1, so the
+    depth-time integral is 30 + 20 + 10 = 60 exactly."""
+    k = fresh_kernel()
+    for name in ("a", "b", "c"):
+        k.spawn(lambda: k.serve("dev", 10.0), name=name)
+    k.run()
+    res = k.resource("dev")
+    res.accrue_depth(k.clock.now_us)
+    assert res.depth_area_us == pytest.approx(60.0)
+    # Accruing again without time passing adds nothing.
+    res.accrue_depth(k.clock.now_us)
+    assert res.depth_area_us == pytest.approx(60.0)
 
 
 # -- scheduling and service --------------------------------------------------
