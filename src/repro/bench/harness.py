@@ -44,6 +44,8 @@ per-resource wait/service means from :mod:`repro.obs.blame`), gated by
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import os
 import re
@@ -77,6 +79,31 @@ MB = 1024 * 1024
 _STAGE_QS = (50.0, 99.0)
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@contextlib.contextmanager
+def _serving_gc():
+    """GC discipline for a measured serve.
+
+    The index, caches and FTL mappings built before serving are
+    long-lived; leaving them in the collector's young generations makes
+    every gen-0 pass re-scan a large static object graph (~15% of serve
+    wall at smoke scale).  Collect once, freeze the survivors out of the
+    collector, and disable cycle collection for the (bounded-allocation)
+    serve loop.  Every measured run — telemetry-on, profiled and
+    telemetry-off — serves under the same discipline, so the obs-tax
+    ratio and run-to-run comparisons stay fair.
+    """
+    gc.collect()
+    gc.freeze()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.unfreeze()
 
 
 def _ratio(counters: dict, name: str, hit_outcomes=("l1_hit", "l2_hit")):
@@ -133,9 +160,10 @@ def run_scenario(scenario: BenchScenario, host_profile: bool = True) -> dict:
     timeline = tel.attach_timeline(window_us=METHODOLOGY["window_us"])
     manager = build_manager(tel)
     build_wall = time.perf_counter() - build_t0
-    t0 = time.perf_counter()
-    result = serve(manager)
-    wall = time.perf_counter() - t0
+    with _serving_gc():
+        t0 = time.perf_counter()
+        result = serve(manager)
+        wall = time.perf_counter() - t0
     timeline.finish()
     host = _host_block(scenario, wall, build_wall, result.queries,
                        build_manager, serve) if host_profile else {
@@ -241,7 +269,7 @@ def _host_block(scenario, wall, build_wall, queries,
 
     profiler = Profiler()
     profiled_manager = build_manager(Telemetry(trace=False, audit=False))
-    with profiler.profile():
+    with _serving_gc(), profiler.profile():
         serve(profiled_manager)
     summary = profiler.summary(top=5)
     host["subsystem_shares"] = {
@@ -251,9 +279,10 @@ def _host_block(scenario, wall, build_wall, queries,
     host["wall_ns_per_op"] = summary["wall_ns_per_op"]
 
     bare_manager = build_manager(None)
-    t0 = time.perf_counter()
-    serve(bare_manager)
-    wall_off = time.perf_counter() - t0
+    with _serving_gc():
+        t0 = time.perf_counter()
+        serve(bare_manager)
+        wall_off = time.perf_counter() - t0
     host["obs_tax_fraction"] = (
         max(0.0, (wall - wall_off) / wall) if wall > 0 else 0.0)
     return host
@@ -290,13 +319,14 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg,
     else:
         raise ValueError(f"unknown arrival {scenario.arrival!r}")
     build_wall = time.perf_counter() - build_t0
-    t0 = time.perf_counter()
-    result = run_open_loop(
-        manager, queries[warm:], arrivals,
-        concurrency=scenario.concurrency, max_queue=scenario.max_queue,
-        label=scenario.name,
-    )
-    wall = time.perf_counter() - t0
+    with _serving_gc():
+        t0 = time.perf_counter()
+        result = run_open_loop(
+            manager, queries[warm:], arrivals,
+            concurrency=scenario.concurrency, max_queue=scenario.max_queue,
+            label=scenario.name,
+        )
+        wall = time.perf_counter() - t0
     timeline.finish()
     rec = getattr(tel, "blame", None)
     blame_block = None

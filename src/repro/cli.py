@@ -213,6 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-obs-tax", action="store_true",
                    help="skip the extra telemetry-off run that measures "
                         "observability overhead")
+    p.add_argument("--against", type=str, default=None, metavar="BENCH.json",
+                   help="print a before/after wall_ns_per_op delta table "
+                        "against a recorded BENCH document's host blocks")
     return parser
 
 
@@ -1183,11 +1186,26 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
         doc["obs_tax"] = tax
 
+    delta_table = None
+    if args.against:
+        from repro.bench.harness import load_bench
+        from repro.obs import baseline_wall_ns_per_op, format_wall_ns_delta
+
+        baseline = load_bench(args.against)
+        doc["against"] = {
+            "path": str(args.against),
+            "wall_ns_per_op": baseline_wall_ns_per_op(baseline),
+        }
+        delta_table = format_wall_ns_delta(doc, baseline, label=args.against)
+
     if args.json:
         print(json.dumps(doc, indent=1, sort_keys=True))
     else:
         print()
         print(format_profile(doc, top=args.top))
+        if delta_table is not None:
+            print()
+            print(delta_table)
     if args.out:
         write_profile(doc, args.out)
         print(f"wrote profile summary to {args.out}")

@@ -35,9 +35,13 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class AdmitEvent:
-    """An entry entered a cache tier (or was re-validated on SSD)."""
+    """An entry entered a cache tier (or was re-validated on SSD).
+
+    Event objects are created on the serving hot path, so they are plain
+    slots dataclasses; subscribers must treat them as immutable.
+    """
 
     #: "result" or "list"
     kind: str
@@ -50,7 +54,7 @@ class AdmitEvent:
     reason: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class EvictEvent:
     """An entry left a cache tier."""
 
@@ -63,7 +67,7 @@ class EvictEvent:
     reason: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class FlushEvent:
     """One physical write into the SSD cache file."""
 
@@ -74,7 +78,7 @@ class FlushEvent:
     entries: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class L2VictimEvent:
     """A replacement victim was chosen on the SSD side."""
 
@@ -94,13 +98,20 @@ def _dispatch(hooks: list, event) -> None:
     fails loudly (in tests and benchmarks) instead of silently skewing
     what it measures.
     """
+    if not hooks:
+        # Unobserved bus (telemetry disabled): truly free — no tuple
+        # build, no loop setup.
+        return
     if len(hooks) == 1:
         # Single subscriber (the common case): isolation is moot and the
         # first exception is simply the exception.
         hooks[0](event)
         return
     first_exc: Exception | None = None
-    for cb in tuple(hooks):
+    # Iterating the live list is safe: subscribing from inside a hook is
+    # not a supported pattern, and try/except is free on the no-raise
+    # path — so no defensive tuple copy per event.
+    for cb in hooks:
         try:
             cb(event)
         except Exception as exc:  # noqa: BLE001 - isolation is the contract

@@ -22,12 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.core.events import L2VictimEvent
-from repro.core.selection import (
-    SelectionDecision,
-    SelectionPolicy,
-    efficiency_value,
-    ssd_cache_blocks,
-)
+from repro.core.selection import SelectionDecision, SelectionPolicy
 from repro.obs.audit import NULL_AUDIT
 
 if TYPE_CHECKING:
@@ -103,16 +98,20 @@ class BaseReplacementPolicy:
         candidates: list[tuple[int, float]] = [] if auditing else None
         best_key = None
         best_ev = float("inf")
+        sb = config.block_bytes
         for key, entry in lists.replace_first_region():
             if key == protect:
                 continue
-            sc = max(
-                1,
-                ssd_cache_blocks(
-                    entry.cached_bytes, entry.formula1_pu, config.block_bytes
-                ),
-            )
-            ev = efficiency_value(entry.freq, sc)
+            # Formula 1 + 2 inlined (same arithmetic as ssd_cache_blocks /
+            # efficiency_value, whose range checks are guaranteed here by
+            # CachedList.__post_init__): this walk evaluates every RFR
+            # candidate on every L1 eviction, so the call + validation
+            # overhead of the module functions dominates it.
+            si = entry.cached_bytes
+            sc = -(-int(si * entry.formula1_pu) // sb) if si > 0 else 0
+            if sc < 1:
+                sc = 1
+            ev = entry.freq / sc
             if auditing:
                 candidates.append((key, ev))
             if ev < best_ev:

@@ -12,6 +12,14 @@ posting list into the byte layout a real index file would have:
 
 ``encoded_size`` gives the exact on-disk size without materialising the
 bytes, which lets the layout use realistic compressed extents.
+
+The encode/decode kernels are numpy block operations (continuation-bit
+masks, ``np.cumsum`` group boundaries, vectorized shift/OR accumulation)
+proven byte-identical to the retained scalar reference implementations
+(``_scalar_varbyte_encode`` / ``_scalar_varbyte_decode``) by the
+Hypothesis suite in ``tests/test_engine_codec.py``.  Streams whose runs
+could exceed 63 bits fall back to the scalar path so overflow behaviour
+is exactly the reference's.
 """
 
 from __future__ import annotations
@@ -24,15 +32,27 @@ from repro.engine.postings import PostingList
 __all__ = [
     "varbyte_encode",
     "varbyte_decode",
+    "varbyte_decode_stream",
     "encode_posting_list",
     "decode_posting_list",
     "encoded_size",
     "estimate_compressed_list_bytes",
 ]
 
+#: Longest varbyte run the vectorized decoder handles: 9 bytes = 63 data
+#: bits, the most an int64-encoded value can legitimately need.  Longer
+#: runs are delegated to the scalar reference so corrupt streams fail
+#: exactly as they always did (64-bit guard, OverflowError).
+_MAX_VECTOR_RUN = 9
 
-def varbyte_encode(values: np.ndarray) -> bytes:
-    """Variable-byte encode an array of non-negative integers."""
+
+# ---------------------------------------------------------------------------
+# Scalar reference implementations (retained: property tests pin the
+# vectorized kernels to these, and pathological streams fall back here)
+# ---------------------------------------------------------------------------
+
+def _scalar_varbyte_encode(values: np.ndarray) -> bytes:
+    """Reference encoder: one value at a time, 7 bits per byte."""
     values = np.asarray(values, dtype=np.int64)
     if values.size and values.min() < 0:
         raise ValueError("varbyte cannot encode negative values")
@@ -49,12 +69,25 @@ def varbyte_encode(values: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def varbyte_decode(data: bytes, count: int | None = None) -> np.ndarray:
-    """Decode a variable-byte stream; ``count`` bounds the output length."""
+def _scalar_varbyte_decode(
+    data: bytes, start: int = 0, count: int | None = None
+) -> tuple[np.ndarray, int]:
+    """Reference decoder; returns ``(values, next_offset)``.
+
+    A stream whose *last* byte carries the continuation bit is truncated
+    mid-run and always raises — even when ``count`` values were already
+    decoded, so trailing garbage cannot hide behind an early stop.
+    """
+    if data and data[-1] & 0x80:
+        raise ValueError("truncated varbyte stream")
+    if count is not None and count <= 0:
+        return np.empty(0, dtype=np.int64), start
     values: list[int] = []
     current = 0
     shift = 0
-    for byte in data:
+    offset = start
+    for pos in range(start, len(data)):
+        byte = data[pos]
         current |= (byte & 0x7F) << shift
         if byte & 0x80:
             shift += 7
@@ -64,13 +97,95 @@ def varbyte_decode(data: bytes, count: int | None = None) -> np.ndarray:
             values.append(current)
             current = 0
             shift = 0
+            offset = pos + 1
             if count is not None and len(values) >= count:
                 break
-    else:
-        if shift != 0:
-            raise ValueError("truncated varbyte stream")
-    return np.array(values, dtype=np.int64)
+    return np.array(values, dtype=np.int64), offset
 
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels
+# ---------------------------------------------------------------------------
+
+def varbyte_encode(values: np.ndarray) -> bytes:
+    """Variable-byte encode an array of non-negative integers."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return b""
+    if values.min() < 0:
+        raise ValueError("varbyte cannot encode negative values")
+    # Bytes per value: how many 7-bit groups until the value is exhausted.
+    nbytes = np.ones(values.size, dtype=np.int64)
+    rest = values >> 7
+    while rest.any():
+        nbytes += rest > 0
+        rest >>= 7
+    width = int(nbytes.max())
+    shifts = 7 * np.arange(width, dtype=np.int64)
+    groups = ((values[:, None] >> shifts) & 0x7F).astype(np.uint8)
+    position = np.arange(width)
+    keep = position < nbytes[:, None]          # groups this value occupies
+    cont = position < (nbytes - 1)[:, None]    # all but the last get the bit
+    groups[cont] |= 0x80
+    # Row-major flatten of the kept groups = little-endian groups per
+    # value, values concatenated in order — the reference byte stream.
+    return groups[keep].tobytes()
+
+
+def varbyte_decode_stream(
+    data: bytes, start: int = 0, count: int | None = None
+) -> tuple[np.ndarray, int]:
+    """Decode a variable-byte stream from ``start``; returns
+    ``(values, next_offset)``.
+
+    ``count`` bounds the output length; ``next_offset`` is the position
+    one past the last byte consumed, so a caller can resume decoding the
+    remainder without re-scanning (see :func:`decode_posting_list`).
+    A stream ending mid-run (dangling continuation bit) raises even when
+    ``count`` values were already produced — trailing garbage never
+    hides behind an early stop.
+    """
+    arr = np.frombuffer(data, dtype=np.uint8, offset=start)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64), start
+    if arr[-1] & 0x80:
+        raise ValueError("truncated varbyte stream")
+    term = arr < 0x80
+    ends = np.nonzero(term)[0]
+    starts = np.empty_like(ends)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    max_len = int(lengths.max())
+    if max_len > _MAX_VECTOR_RUN:
+        # >63-bit runs: the scalar reference owns the corrupt-stream
+        # semantics (64-bit guard / OverflowError), byte for byte.
+        return _scalar_varbyte_decode(data, start, count)
+    n = ends.size
+    if count is not None and count < n:
+        n = max(0, count)
+        ends = ends[:n]
+        starts = starts[:n]
+        lengths = lengths[:n]
+        if n == 0:
+            return np.empty(0, dtype=np.int64), start
+        max_len = int(lengths.max())
+    payload = (arr & 0x7F).astype(np.int64)
+    values = payload[starts].copy()
+    for k in range(1, max_len):
+        more = lengths > k
+        values[more] |= payload[starts[more] + k] << (7 * k)
+    return values, start + int(ends[-1]) + 1
+
+
+def varbyte_decode(data: bytes, count: int | None = None) -> np.ndarray:
+    """Decode a variable-byte stream; ``count`` bounds the output length."""
+    return varbyte_decode_stream(data, 0, count)[0]
+
+
+# ---------------------------------------------------------------------------
+# Posting-list framing
+# ---------------------------------------------------------------------------
 
 def _gaps_within_tf_runs(plist: PostingList) -> np.ndarray:
     """Doc-gap transform: within each equal-tf run, ascending doc ids are
@@ -88,6 +203,25 @@ def _gaps_within_tf_runs(plist: PostingList) -> np.ndarray:
     return gaps
 
 
+def _undo_gaps_within_runs(gaps: np.ndarray, tfs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_gaps_within_tf_runs` as one segmented cumsum.
+
+    ``doc_id[i] = sum(gaps[s..i])`` where ``s`` is the start of ``i``'s
+    equal-tf run, computed for every run at once: a global cumsum minus
+    each run's starting prefix, broadcast per segment.
+    """
+    n = gaps.size
+    if n == 0:
+        return gaps.copy()
+    new_run = np.ones(n, dtype=bool)
+    new_run[1:] = tfs[1:] != tfs[:-1]
+    seg_id = np.cumsum(new_run) - 1
+    seg_starts = np.nonzero(new_run)[0]
+    cs = np.cumsum(gaps)
+    before_seg = cs[seg_starts] - gaps[seg_starts]
+    return cs - before_seg[seg_id]
+
+
 def encode_posting_list(plist: PostingList) -> bytes:
     """Serialise a frequency-sorted posting list."""
     gaps = _gaps_within_tf_runs(plist)
@@ -99,24 +233,26 @@ def encode_posting_list(plist: PostingList) -> bytes:
 
 
 def decode_posting_list(data: bytes) -> PostingList:
-    """Inverse of :func:`encode_posting_list`."""
-    header = varbyte_decode(data, count=2)
-    if header.size < 2:
+    """Inverse of :func:`encode_posting_list`.
+
+    One pass over the stream: header and body decode together, so the
+    body is never re-scanned.  The stream must contain *exactly* the
+    header plus ``2 * n`` body values — truncation and trailing bytes
+    both raise.
+    """
+    values, offset = varbyte_decode_stream(data)
+    if values.size < 2:
         raise ValueError("truncated posting-list header")
-    term_id, n = int(header[0]), int(header[1])
+    term_id, n = int(values[0]), int(values[1])
     HOT.postings_decoded += n
-    # Re-decode the whole stream and skip the two header values.
-    values = varbyte_decode(data, count=2 + 2 * n)
     if values.size < 2 + 2 * n:
         raise ValueError("truncated posting-list payload")
+    if values.size > 2 + 2 * n or offset != len(data):
+        raise ValueError("trailing bytes after posting-list payload")
     body = values[2:]
     gaps = body[0::2]
     tfs = body[1::2].astype(np.int32)
-    # Undo the in-run delta transform.
-    doc_ids = gaps.copy()
-    for i in range(1, n):
-        if tfs[i] == tfs[i - 1]:
-            doc_ids[i] = doc_ids[i - 1] + gaps[i]
+    doc_ids = _undo_gaps_within_runs(gaps, tfs)
     return PostingList(term_id, doc_ids, tfs)
 
 

@@ -14,7 +14,8 @@ while end-to-end examples still produce real ranked results.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -40,9 +41,12 @@ class ProcessorCosts:
     per_result_us: float = 2.0
 
 
-@dataclass(frozen=True)
-class ListDemand:
-    """How much of one term's posting list this query traversal needs."""
+class ListDemand(NamedTuple):
+    """How much of one term's posting list this query traversal needs.
+
+    A named tuple rather than a frozen dataclass: planning builds one per
+    term per query, so construction sits on the serving hot path.
+    """
 
     term_id: int
     #: full on-disk list size
@@ -55,12 +59,11 @@ class ListDemand:
     postings: int
 
 
-@dataclass(frozen=True)
-class QueryPlan:
+class QueryPlan(NamedTuple):
     """The I/O and CPU demands of processing one query."""
 
     query: Query
-    demands: tuple[ListDemand, ...] = field(repr=False)
+    demands: tuple[ListDemand, ...]
 
     @property
     def total_postings(self) -> int:
@@ -87,6 +90,10 @@ class QueryProcessor:
         self.costs = costs or ProcessorCosts()
         self.top_k = top_k
         self._rng = make_rng(seed)
+        # Surrogate rankings are pure functions of the query key (and
+        # top_k / corpus size), so repeat misses reuse the entry.
+        self._surrogates: dict[tuple[int, ...], ResultEntry] = {}
+        self._surrogate_steps: tuple[tuple[int, ...], tuple[float, ...]] | None = None
 
     # -- planning -------------------------------------------------------------
 
@@ -98,13 +105,18 @@ class QueryProcessor:
         the behaviour Formula 1 captures with its PU parameter.
         """
         demands = []
-        for term_id in query.key:
-            info = self.index.lexicon.term(term_id)
-            # Traversal depth varies query to query around the term's base
-            # utilization: different query mixes terminate at different
-            # depths (sigma 0.3 spreads realized PU roughly 0.55x-1.8x).
-            wobble = float(self._rng.lognormal(mean=0.0, sigma=0.30))
-            pu = float(np.clip(info.utilization * wobble, 0.01, 1.0))
+        key = query.key
+        # Traversal depth varies query to query around the term's base
+        # utilization: different query mixes terminate at different
+        # depths (sigma 0.3 spreads realized PU roughly 0.55x-1.8x).
+        # One vectorized draw per query consumes the identical RNG
+        # stream as per-term scalar draws.
+        wobbles = self._rng.lognormal(mean=0.0, sigma=0.30, size=len(key))
+        term = self.index.lexicon.term
+        for term_id, wobble in zip(key, wobbles.tolist()):
+            info = term(term_id)
+            pu = info.utilization * wobble
+            pu = 0.01 if pu < 0.01 else (1.0 if pu > 1.0 else pu)
             postings = max(1, int(round(info.doc_freq * pu)))
             # Bytes follow the on-disk format (8 B/posting raw, less when
             # the index is compressed).
@@ -141,7 +153,14 @@ class QueryProcessor:
         if materialize:
             results = self._score(plan)
         else:
-            results = self._surrogate(plan)
+            key = plan.query.key
+            cached = self._surrogates.get(key)
+            if cached is None:
+                cached = self._surrogates[key] = ResultEntry(
+                    query_key=key, results=tuple(self._surrogate(plan)),
+                    top_k=self.top_k,
+                )
+            return cached
         return ResultEntry(
             query_key=plan.query.key, results=tuple(results), top_k=self.top_k
         )
@@ -168,7 +187,17 @@ class QueryProcessor:
         base = hash(plan.query.key) & 0x7FFFFFFF
         n_docs = self.index.num_docs
         k = min(self.top_k, n_docs)
-        return [
-            SearchResult(doc_id=(base + 7919 * i) % n_docs, score=float(k - i))
-            for i in range(k)
-        ]
+        steps = self._surrogate_steps
+        if steps is None or len(steps[1]) != k:
+            # Per-rank constants: the doc-id stride and the descending
+            # score ladder only depend on k, not on the query.
+            steps = self._surrogate_steps = (
+                tuple(7919 * i for i in range(k)),
+                tuple(float(k - i) for i in range(k)),
+            )
+        strides, scores = steps
+        return list(map(
+            SearchResult,
+            ((base + s) % n_docs for s in strides),
+            scores,
+        ))

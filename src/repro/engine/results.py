@@ -9,6 +9,7 @@ fixed-length cache treatment (Section VI).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 __all__ = ["SearchResult", "ResultEntry", "DEFAULT_TOP_K", "DOC_SUMMARY_BYTES"]
 
@@ -16,9 +17,13 @@ DEFAULT_TOP_K = 50
 DOC_SUMMARY_BYTES = 400
 
 
-@dataclass(frozen=True)
-class SearchResult:
-    """One scored document."""
+class SearchResult(NamedTuple):
+    """One scored document.
+
+    A named tuple rather than a dataclass: result assembly builds
+    ``top_k`` of these per computed query, and tuple construction keeps
+    that off the profile while staying immutable.
+    """
 
     doc_id: int
     score: float

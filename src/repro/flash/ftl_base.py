@@ -141,12 +141,13 @@ class FTL(ABC):
 
     def _gc_candidates(self, exclude: set[int]) -> np.ndarray:
         """Fully- or partially-written blocks eligible as GC victims."""
-        used = np.nonzero(self.nand.write_ptrs > 0)[0]
-        if exclude:
-            mask = ~np.isin(used, list(exclude))
-            used = used[mask]
-        # Only blocks with at least one invalid page are worth reclaiming.
-        return used[self.nand.invalid_counts[used] > 0]
+        # Only blocks with at least one invalid page are worth reclaiming;
+        # one boolean mask over the per-block count vectors replaces the
+        # old np.isin scan (exclude is a handful of active blocks).
+        mask = (self.nand.write_ptrs > 0) & (self.nand.invalid_counts > 0)
+        for b in exclude:
+            mask[b] = False
+        return np.nonzero(mask)[0]
 
     # -- reporting ---------------------------------------------------------------
 

@@ -126,13 +126,21 @@ class PageMappingFTL(FTL):
         self._check_lpn(lpn_start)
         self._check_lpn(lpn_start + count - 1)
         HOT.ftl_map_lookups += count
-        lpns = np.arange(lpn_start, lpn_start + count, dtype=np.int64)
-        old = self._l2p[lpns]
-        live = old[old != _UNMAPPED]
-        if live.size:
-            self.nand.invalidate_pages(live)
-            self._p2l[live] = _UNMAPPED
-        self._mapped += int(count - live.size)
+        old = self._l2p[lpn_start:lpn_start + count]
+        p0 = int(old[0])
+        if p0 != _UNMAPPED and int(old[-1]) - p0 == count - 1 and (
+            count == 1 or np.array_equal(old, np.arange(p0, p0 + count))
+        ):
+            # Fully-mapped contiguous span (the shape every whole-block
+            # placement produces): the reverse-map clear is a slice store.
+            self.nand.invalidate_run(p0, count)
+            self._p2l[p0:p0 + count] = _UNMAPPED
+        else:
+            live = old[old != _UNMAPPED]
+            if live.size:
+                self.nand.invalidate_pages(live)
+                self._p2l[live] = _UNMAPPED
+            self._mapped += int(count - live.size)
 
         latency = -(-count // self.config.channels) * self.config.write_us
         done = 0
@@ -143,12 +151,14 @@ class PageMappingFTL(FTL):
                 self._active_block = self._take_free_block()
                 room = self.config.pages_per_block
             take = min(room, count - done)
-            ppns = self.nand.program_run(self._active_block, take)
-            chunk = lpns[done:done + take]
-            self._p2l[ppns] = chunk
-            self._l2p[chunk] = ppns
-            self._oob_lpn[ppns] = chunk
-            self._oob_seq[ppns] = np.arange(
+            # Programmed runs are contiguous, so every mapping update is a
+            # slice assignment rather than fancy indexing.
+            p0 = self.nand.program_run_start(self._active_block, take)
+            s = lpn_start + done
+            self._p2l[p0:p0 + take] = np.arange(s, s + take, dtype=np.int64)
+            self._l2p[s:s + take] = np.arange(p0, p0 + take, dtype=np.int64)
+            self._oob_lpn[p0:p0 + take] = self._p2l[p0:p0 + take]
+            self._oob_seq[p0:p0 + take] = np.arange(
                 self._write_seq + 1, self._write_seq + 1 + take
             )
             self._write_seq += take
@@ -165,19 +175,34 @@ class PageMappingFTL(FTL):
         self._check_lpn(lpn_start)
         self._check_lpn(lpn_start + count - 1)
         HOT.ftl_map_lookups += count
-        lpns = np.arange(lpn_start, lpn_start + count, dtype=np.int64)
-        old = self._l2p[lpns]
+        old = self._l2p[lpn_start:lpn_start + count]
+        p0 = int(old[0])
+        if p0 != _UNMAPPED and int(old[-1]) - p0 == count - 1 and (
+            count == 1 or np.array_equal(old, np.arange(p0, p0 + count))
+        ):
+            # Fully-mapped contiguous span: slice stores on both mapping
+            # directions, journal keys enumerated without a mask scan.
+            self.nand.invalidate_run(p0, count)
+            self._p2l[p0:p0 + count] = _UNMAPPED
+            old[:] = _UNMAPPED  # writes through the l2p view
+            self._mapped -= count
+            self.stats.trimmed_pages += count
+            self._write_seq += 1
+            self._trim_journal.update(dict.fromkeys(
+                range(lpn_start, lpn_start + count), self._write_seq))
+            return 0.0
         live_mask = old != _UNMAPPED
         live = old[live_mask]
         if live.size:
             self.nand.invalidate_pages(live)
             self._p2l[live] = _UNMAPPED
-            self._l2p[lpns[live_mask]] = _UNMAPPED
+            old[live_mask] = _UNMAPPED  # writes through the l2p view
             self._mapped -= int(live.size)
             self.stats.trimmed_pages += int(live.size)
             self._write_seq += 1
-            for lpn in lpns[live_mask].tolist():
-                self._trim_journal[lpn] = self._write_seq
+            journaled = (np.nonzero(live_mask)[0] + lpn_start).tolist()
+            self._trim_journal.update(
+                dict.fromkeys(journaled, self._write_seq))
         return 0.0
 
     def ppn_of(self, lpn: int) -> int:
@@ -220,20 +245,45 @@ class PageMappingFTL(FTL):
         return latency
 
     def _collect(self, victim: int) -> float:
-        """Relocate valid pages out of ``victim`` and erase it."""
+        """Relocate valid pages out of ``victim`` and erase it.
+
+        Equivalent to the per-page read/invalidate/program loop, executed
+        as batch array operations: all the victim's valid pages are read
+        and invalidated at once, then re-programmed in block-sized chunks
+        following the same active-block/free-block allocation order the
+        scalar loop would use.  Latency stays ``n*(read+write) + erase``.
+        """
         latency = 0.0
-        for ppn in self.nand.valid_ppns_in(victim):
-            lpn = int(self._p2l[ppn])
-            assert lpn != _UNMAPPED, "valid page without reverse mapping"
-            self.nand.read_page(ppn)
-            self.stats.gc_page_reads += 1
-            latency += self.config.read_us
-            self.nand.invalidate_page(ppn)
-            self._p2l[ppn] = _UNMAPPED
-            new_ppn = self._program_active(lpn)
-            self._l2p[lpn] = new_ppn
-            self.stats.gc_page_writes += 1
-            latency += self.config.write_us
+        ppns = self.nand.valid_ppn_array(victim)
+        n = int(ppns.size)
+        if n:
+            lpns = self._p2l[ppns]
+            assert (lpns != _UNMAPPED).all(), "valid page without reverse mapping"
+            self.nand.read_pages(ppns)
+            self.stats.gc_page_reads += n
+            self.nand.invalidate_pages(ppns)
+            self._p2l[ppns] = _UNMAPPED
+            latency += n * (self.config.read_us + self.config.write_us)
+            done = 0
+            while done < n:
+                room = self.nand.free_pages_in(self._active_block)
+                if room == 0:
+                    self._active_block = self._take_free_block()
+                    room = self.config.pages_per_block
+                take = min(room, n - done)
+                p0 = self.nand.program_run_start(self._active_block, take)
+                chunk = lpns[done:done + take]
+                self._p2l[p0:p0 + take] = chunk
+                self._l2p[chunk] = np.arange(p0, p0 + take, dtype=np.int64)
+                self._oob_lpn[p0:p0 + take] = chunk
+                self._oob_seq[p0:p0 + take] = np.arange(
+                    self._write_seq + 1, self._write_seq + 1 + take
+                )
+                self._write_seq += take
+                if isinstance(self.victim_policy, CostBenefitVictimPolicy):
+                    self.victim_policy.note_program(self._active_block, self._now_us)
+                done += take
+            self.stats.gc_page_writes += n
         self.nand.erase_block(victim)
         lo = victim * self.config.pages_per_block
         hi = lo + self.config.pages_per_block

@@ -30,6 +30,15 @@ class PageState(IntEnum):
     INVALID = 2
 
 
+# Hot-path constants: accessing an enum member as a class attribute goes
+# through the EnumType metaclass __getattr__ on every lookup — measurably
+# hot when NAND ops run hundreds of thousands of times per benchmark.
+# The state array stores these plain ints; PageState stays the public face.
+_FREE = int(PageState.FREE)
+_VALID = int(PageState.VALID)
+_INVALID = int(PageState.INVALID)
+
+
 class NandArray:
     """A flat array of erase blocks, each holding ``pages_per_block`` pages.
 
@@ -42,7 +51,7 @@ class NandArray:
         self.config = config
         n_blocks = config.num_blocks
         ppb = config.pages_per_block
-        self._state = np.full(n_blocks * ppb, PageState.FREE, dtype=np.uint8)
+        self._state = np.full(n_blocks * ppb, _FREE, dtype=np.uint8)
         # next page offset to program in each block (sequential-program rule)
         self._write_ptr = np.zeros(n_blocks, dtype=np.int32)
         self._valid_count = np.zeros(n_blocks, dtype=np.int32)
@@ -109,7 +118,7 @@ class NandArray:
     def read_page(self, ppn: int) -> None:
         """Read a page.  Reading FREE pages is rejected — it indicates an FTL bug."""
         self._check_ppn(ppn)
-        if self._state[ppn] == PageState.FREE:
+        if self._state[ppn] == _FREE:
             raise RuntimeError(f"read of unwritten (FREE) page ppn={ppn}")
         self.reads += 1
 
@@ -123,8 +132,8 @@ class NandArray:
         if ptr >= self.config.pages_per_block:
             raise RuntimeError(f"program on full block {block}")
         ppn = block * self.config.pages_per_block + ptr
-        assert self._state[ppn] == PageState.FREE, "sequential-program invariant broken"
-        self._state[ppn] = PageState.VALID
+        assert self._state[ppn] == _FREE, "sequential-program invariant broken"
+        self._state[ppn] = _VALID
         self._write_ptr[block] = ptr + 1
         self._valid_count[block] += 1
         self.programs += 1
@@ -142,18 +151,20 @@ class NandArray:
         if not 0 <= offset < self.config.pages_per_block:
             raise IndexError(f"offset {offset} out of range")
         ppn = block * self.config.pages_per_block + offset
-        if self._state[ppn] != PageState.FREE:
+        if self._state[ppn] != _FREE:
             raise RuntimeError(f"program of non-FREE page ppn={ppn}")
-        self._state[ppn] = PageState.VALID
+        self._state[ppn] = _VALID
         self._write_ptr[block] += 1
         self._valid_count[block] += 1
         self.programs += 1
         return ppn
 
-    def program_run(self, block: int, count: int) -> np.ndarray:
-        """Program ``count`` sequential pages of ``block``; return their ppns.
+    def program_run_start(self, block: int, count: int) -> int:
+        """Program ``count`` sequential pages of ``block``; return the
+        first ppn (the run is ``[start, start + count)``).
 
-        Vectorised batch variant of :meth:`program_page` for span writes.
+        The slice-returning form of :meth:`program_run`, for callers that
+        exploit the run's contiguity with slice assignments.
         """
         if count <= 0:
             raise ValueError("count must be positive")
@@ -161,40 +172,90 @@ class NandArray:
         if ptr + count > self.config.pages_per_block:
             raise RuntimeError(f"program_run overflows block {block}")
         lo = block * self.config.pages_per_block + ptr
-        ppns = np.arange(lo, lo + count, dtype=np.int64)
-        self._state[ppns] = PageState.VALID
+        self._state[lo:lo + count] = _VALID
         self._write_ptr[block] = ptr + count
         self._valid_count[block] += count
         self.programs += count
-        return ppns
+        return lo
+
+    def program_run(self, block: int, count: int) -> np.ndarray:
+        """Program ``count`` sequential pages of ``block``; return their ppns.
+
+        Vectorised batch variant of :meth:`program_page` for span writes.
+        """
+        lo = self.program_run_start(block, count)
+        return np.arange(lo, lo + count, dtype=np.int64)
+
+    def invalidate_run(self, start: int, count: int) -> None:
+        """Invalidate ``count`` contiguous VALID pages starting at ``start``.
+
+        The contiguous-run form of :meth:`invalidate_pages`: state flips
+        are slice stores and per-block counts are scalar arithmetic, with
+        no gather/scatter or bincount.  Whole-block cache placements make
+        this the dominant invalidation shape.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        end = start + count - 1
+        if not (0 <= start and end < self.config.total_pages):
+            raise IndexError(f"run [{start}, {end}] out of range")
+        sl = self._state[start:start + count]
+        if (sl != _VALID).any():
+            raise RuntimeError("invalidate_run on non-VALID page(s)")
+        sl[:] = _INVALID
+        ppb = self.config.pages_per_block
+        first_b = start // ppb
+        last_b = end // ppb
+        if first_b == last_b:
+            self._valid_count[first_b] -= count
+            self._invalid_count[first_b] += count
+            return
+        for blk in range(first_b, last_b + 1):
+            lo = max(start, blk * ppb)
+            hi = min(end + 1, (blk + 1) * ppb)
+            n = hi - lo
+            self._valid_count[blk] -= n
+            self._invalid_count[blk] += n
 
     def invalidate_pages(self, ppns: np.ndarray) -> None:
         """Vectorised invalidate of many VALID pages (may repeat blocks)."""
-        if ppns.size == 0:
+        n = int(ppns.size)
+        if n == 0:
             return
-        if (self._state[ppns] != PageState.VALID).any():
+        p0 = int(ppns[0])
+        if int(ppns[-1]) - p0 == n - 1 and (
+            n == 1 or np.array_equal(ppns, np.arange(p0, p0 + n, dtype=ppns.dtype))
+        ):
+            # Contiguous ascending run (block-aligned placements produce
+            # these almost exclusively): slice stores beat fancy indexing.
+            self.invalidate_run(p0, n)
+            return
+        if (self._state[ppns] != _VALID).any():
             raise RuntimeError("invalidate_pages on non-VALID page(s)")
-        self._state[ppns] = PageState.INVALID
+        self._state[ppns] = _INVALID
         blocks = ppns // self.config.pages_per_block
-        np.subtract.at(self._valid_count, blocks, 1)
-        np.add.at(self._invalid_count, blocks, 1)
+        # bincount beats ufunc.at for the small repeat-heavy block lists
+        # GC and trims produce.
+        per_block = np.bincount(blocks)
+        self._valid_count[: per_block.size] -= per_block
+        self._invalid_count[: per_block.size] += per_block
 
     def read_pages(self, ppns: np.ndarray) -> None:
         """Vectorised read of many non-FREE pages."""
         if ppns.size == 0:
             return
-        if (self._state[ppns] == PageState.FREE).any():
+        if (self._state[ppns] == _FREE).any():
             raise RuntimeError("read of unwritten (FREE) page in span")
         self.reads += int(ppns.size)
 
     def invalidate_page(self, ppn: int) -> None:
         """Mark a VALID page INVALID (e.g. its logical page was overwritten)."""
         self._check_ppn(ppn)
-        if self._state[ppn] != PageState.VALID:
+        if self._state[ppn] != _VALID:
             raise RuntimeError(f"invalidate of non-VALID page ppn={ppn} "
                                f"(state={PageState(self._state[ppn]).name})")
         block = self.block_of(ppn)
-        self._state[ppn] = PageState.INVALID
+        self._state[ppn] = _INVALID
         self._valid_count[block] -= 1
         self._invalid_count[block] += 1
 
@@ -212,7 +273,7 @@ class NandArray:
             )
         lo = block * self.config.pages_per_block
         hi = lo + self.config.pages_per_block
-        self._state[lo:hi] = PageState.FREE
+        self._state[lo:hi] = _FREE
         self._write_ptr[block] = 0
         self._invalid_count[block] = 0
         self.erase_counts[block] += 1
@@ -220,18 +281,21 @@ class NandArray:
 
     def valid_ppns_in(self, block: int) -> list[int]:
         """Physical page numbers of all VALID pages in ``block``."""
+        return self.valid_ppn_array(block).tolist()
+
+    def valid_ppn_array(self, block: int) -> np.ndarray:
+        """Ascending ppns of all VALID pages in ``block`` (batch GC path)."""
         lo = block * self.config.pages_per_block
         hi = lo + self.config.pages_per_block
-        local = np.nonzero(self._state[lo:hi] == PageState.VALID)[0]
-        return [int(lo + off) for off in local]
+        return lo + np.nonzero(self._state[lo:hi] == _VALID)[0]
 
     def check_invariants(self) -> None:
         """Verify the state arrays agree (used by property tests)."""
         ppb = self.config.pages_per_block
         states = self._state.reshape(self.config.num_blocks, ppb)
-        valid = (states == PageState.VALID).sum(axis=1)
-        invalid = (states == PageState.INVALID).sum(axis=1)
-        used = (states != PageState.FREE).sum(axis=1)
+        valid = (states == _VALID).sum(axis=1)
+        invalid = (states == _INVALID).sum(axis=1)
+        used = (states != _FREE).sum(axis=1)
         if not np.array_equal(valid, self._valid_count):
             raise AssertionError("valid_count out of sync with page states")
         if not np.array_equal(invalid, self._invalid_count):

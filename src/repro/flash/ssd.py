@@ -72,6 +72,17 @@ class SimulatedSSD:
         #: Optional span tracer (repro.obs); None keeps the hot path bare.
         self.tracer = None
         self.ftl.audit_device = name
+        # Hot-path caches: the FTL and clock are fixed for the device's
+        # lifetime, so the span entry points are resolved once.  Counter
+        # refs are resolved lazily (first op of each type) so devices
+        # that never see an op type keep identical counter snapshots.
+        self._read_span = getattr(self.ftl, "read_span", None)
+        self._write_span = getattr(self.ftl, "write_span", None)
+        self._trim_span = getattr(self.ftl, "trim_span", None)
+        self._set_time = self.ftl.set_time
+        self._read_ctrs = None
+        self._write_ctrs = None
+        self._trim_ctrs = None
 
     @property
     def audit(self):
@@ -119,18 +130,23 @@ class SimulatedSSD:
 
     def read(self, lba: int, nbytes: int) -> float:
         """Read ``nbytes`` at sector ``lba``; returns service time in us."""
-        self.ftl.set_time(self.clock.now_us)
+        self._set_time(self.clock.now_us)
         pages = self._page_span(lba, nbytes)
-        read_span = getattr(self.ftl, "read_span", None)
+        read_span = self._read_span
         if read_span is not None:
             latency = read_span(pages.start, len(pages))
         else:
             latency = 0.0
             for lpn in pages:
                 latency += self.ftl.read(lpn)
-        self.counters.add("read_ops", nbytes)
-        self.counters.add("read_pages", 0.0, n=len(pages))
-        self.counters.add("access_time_us", latency)
+        ctrs = self._read_ctrs
+        if ctrs is None:
+            ctrs = self._read_ctrs = (self.counters["read_ops"],
+                                      self.counters["read_pages"],
+                                      self.counters["access_time_us"])
+        ctrs[0].add(nbytes)
+        ctrs[1].add(0.0, n=len(pages))
+        ctrs[2].add(latency)
         self.clock.consume(self.name, latency)
         if self.tracer is not None:
             now = self.clock.now_us
@@ -140,20 +156,25 @@ class SimulatedSSD:
 
     def write(self, lba: int, nbytes: int) -> float:
         """Write ``nbytes`` at sector ``lba``; returns service time in us."""
-        self.ftl.set_time(self.clock.now_us)
+        self._set_time(self.clock.now_us)
         pages = self._page_span(lba, nbytes)
         tr = self.tracer
         erases_before = self.ftl.erase_count_total if tr is not None else 0
-        write_span = getattr(self.ftl, "write_span", None)
+        write_span = self._write_span
         if write_span is not None:
             latency = write_span(pages.start, len(pages))
         else:
             latency = 0.0
             for lpn in pages:
                 latency += self.ftl.write(lpn)
-        self.counters.add("write_ops", nbytes)
-        self.counters.add("write_pages", 0.0, n=len(pages))
-        self.counters.add("access_time_us", latency)
+        ctrs = self._write_ctrs
+        if ctrs is None:
+            ctrs = self._write_ctrs = (self.counters["write_ops"],
+                                       self.counters["write_pages"],
+                                       self.counters["access_time_us"])
+        ctrs[0].add(nbytes)
+        ctrs[1].add(0.0, n=len(pages))
+        ctrs[2].add(latency)
         self.clock.consume(self.name, latency)
         if tr is not None:
             # FTL activity rides on the span: GC erases triggered by this
@@ -168,7 +189,7 @@ class SimulatedSSD:
 
     def trim(self, lba: int, nbytes: int) -> float:
         """TRIM ``nbytes`` at sector ``lba``.  Partial pages are kept."""
-        self.ftl.set_time(self.clock.now_us)
+        self._set_time(self.clock.now_us)
         start_byte = lba * SECTOR_BYTES
         end_byte = start_byte + nbytes
         # Only whole pages strictly inside the range may be discarded.
@@ -176,14 +197,18 @@ class SimulatedSSD:
         last = end_byte // self.config.page_bytes
         latency = 0.0
         if last > first:
-            trim_span = getattr(self.ftl, "trim_span", None)
+            trim_span = self._trim_span
             if trim_span is not None:
                 latency = trim_span(first, last - first)
             else:
                 for lpn in range(first, last):
                     latency += self.ftl.trim(lpn)
-        self.counters.add("trim_ops", nbytes)
-        self.counters.add("access_time_us", latency)
+        ctrs = self._trim_ctrs
+        if ctrs is None:
+            ctrs = self._trim_ctrs = (self.counters["trim_ops"],
+                                      self.counters["access_time_us"])
+        ctrs[0].add(nbytes)
+        ctrs[1].add(latency)
         self.clock.consume(self.name, latency)
         return latency
 

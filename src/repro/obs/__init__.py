@@ -63,7 +63,9 @@ from repro.obs.instruments import (
 from repro.obs.profiler import (
     PROFILE_SCHEMA,
     Profiler,
+    baseline_wall_ns_per_op,
     format_profile,
+    format_wall_ns_delta,
     func_label,
     load_folded,
     load_profile,
@@ -181,7 +183,9 @@ __all__ = [
     "subsystem_of",
     "func_label",
     "measure_obs_tax",
+    "baseline_wall_ns_per_op",
     "format_profile",
+    "format_wall_ns_delta",
     "write_profile",
     "load_profile",
     "validate_profile",

@@ -32,6 +32,10 @@ class CacheEventMetrics:
 
     def __init__(self, registry: MetricsRegistry, events: CacheEvents) -> None:
         self.registry = registry
+        # Counter refs cached per tag combination — events fire for
+        # every admit/evict on the serving path, so the (name, tags)
+        # registry lookup is paid once per distinct series, not per event.
+        self._counters: dict[tuple, object] = {}
         self._unsubscribe = events.subscribe(
             on_admit=self._on_admit,
             on_evict=self._on_evict,
@@ -40,27 +44,47 @@ class CacheEventMetrics:
         )
 
     def _on_admit(self, event) -> None:
-        self.registry.counter(
-            "cache_admits_total", kind=event.kind, level=event.level,
-            reason=event.reason or "insert",
-        ).inc()
+        reason = event.reason or "insert"
+        key = ("admit", event.kind, event.level, reason)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = self.registry.counter(
+                "cache_admits_total", kind=event.kind, level=event.level,
+                reason=reason,
+            )
+        c.inc()
 
     def _on_evict(self, event) -> None:
-        self.registry.counter(
-            "cache_evicts_total", kind=event.kind, level=event.level,
-            reason=event.reason or "unspecified",
-        ).inc()
+        reason = event.reason or "unspecified"
+        key = ("evict", event.kind, event.level, reason)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = self.registry.counter(
+                "cache_evicts_total", kind=event.kind, level=event.level,
+                reason=reason,
+            )
+        c.inc()
 
     def _on_flush(self, event) -> None:
-        self.registry.counter("cache_flushes_total", kind=event.kind).inc()
-        self.registry.counter(
-            "cache_flush_bytes_total", kind=event.kind
-        ).inc(event.nbytes)
+        key = ("flush", event.kind)
+        pair = self._counters.get(key)
+        if pair is None:
+            pair = self._counters[key] = (
+                self.registry.counter("cache_flushes_total", kind=event.kind),
+                self.registry.counter("cache_flush_bytes_total",
+                                      kind=event.kind),
+            )
+        pair[0].inc()
+        pair[1].inc(event.nbytes)
 
     def _on_l2_victim(self, event) -> None:
-        self.registry.counter(
-            "cache_l2_victims_total", kind=event.kind, stage=event.stage
-        ).inc()
+        key = ("l2_victim", event.kind, event.stage)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = self.registry.counter(
+                "cache_l2_victims_total", kind=event.kind, stage=event.stage
+            )
+        c.inc()
 
     def close(self) -> None:
         self._unsubscribe()
@@ -95,6 +119,9 @@ class CacheStatsMetrics:
         self.registry = registry
         self.stats = stats
         self._last = {attr: 0 for _, _, attr in self._SERIES}
+        # Lazily cached counter refs — created (as before) only on the
+        # first nonzero delta, so no zero-valued series appear in dumps.
+        self._counters: dict[str, object] = {}
 
     def collect(self) -> None:
         """Advance the counters to the stats object's current values."""
@@ -103,5 +130,9 @@ class CacheStatsMetrics:
             last = self._last[attr]
             delta = cur - last if cur >= last else cur
             if delta:
-                self.registry.counter(name, outcome=outcome).inc(delta)
+                c = self._counters.get(attr)
+                if c is None:
+                    c = self._counters[attr] = self.registry.counter(
+                        name, outcome=outcome)
+                c.inc(delta)
             self._last[attr] = cur

@@ -63,35 +63,57 @@ class FlashDeviceMetrics:
         self.ssd = ssd
         self.endurance_cycles = endurance_cycles
         self._last: dict[str, int] = {f: 0 for f in _COUNTER_FIELDS}
+        # Instrument refs, cached because collect() runs per timeline
+        # window.  Counters stay lazy (created on the first nonzero
+        # delta, as always) so idle series never appear in dumps.
+        self._counters: dict[str, object] = {}
+        self._gauges: dict[str, object] = {}
+        # nand.erases at the last wear sample: -1 forces the first
+        # collect() to publish the wear gauges even on a pristine device.
+        self._wear_erases = -1
 
     @property
     def device(self) -> str:
         return self.ssd.name
 
+    def _gauge(self, name: str, merge_mode: str | None = None):
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = self.registry.gauge(
+                name, merge_mode=merge_mode, device=self.ssd.name)
+        return g
+
     def collect(self) -> None:
         """Sample the device's current counters into the registry."""
-        reg = self.registry
         dev = self.ssd.name
         stats = self.ssd.ftl.stats
+        last = self._last
+        counters = self._counters
         for fld, metric in _COUNTER_FIELDS.items():
             now = getattr(stats, fld, 0)
-            delta = now - self._last[fld]
+            delta = now - last[fld]
             if delta > 0:
-                reg.counter(metric, device=dev).inc(delta)
-                self._last[fld] = now
+                c = counters.get(fld)
+                if c is None:
+                    c = counters[fld] = self.registry.counter(
+                        metric, device=dev)
+                c.inc(delta)
+                last[fld] = now
         # Ratio/projection gauges have no natural cross-shard sum, so
         # they declare their cluster-merge mode; free_blocks is
         # occupancy-style and keeps the "sum" default.
-        reg.gauge("flash_write_amplification", merge_mode="last",
-                  device=dev).set(stats.write_amplification)
-        reg.gauge("flash_free_blocks", device=dev).set(
-            self.ssd.ftl.free_block_count)
+        self._gauge("flash_write_amplification", "last").set(
+            stats.write_amplification)
+        self._gauge("flash_free_blocks").set(self.ssd.ftl.free_block_count)
         # Wear projections (Fig. 19a / Griffin [3] lifetime argument).
-        if self.ssd.ftl.nand.erase_counts.size:
+        # The report is a pure function of nand.erase_counts, so windows
+        # with no erase since the last sample skip the numpy reductions:
+        # the gauges already hold the identical values.
+        nand = self.ssd.ftl.nand
+        if nand.erase_counts.size and nand.erases != self._wear_erases:
+            self._wear_erases = nand.erases
             wear = self.ssd.wear(self.endurance_cycles)
-            reg.gauge("flash_wear_max_erases", merge_mode="max",
-                      device=dev).set(wear.max_erases)
-            reg.gauge("flash_wear_skew", merge_mode="last",
-                      device=dev).set(wear.skew)
-            reg.gauge("flash_lifetime_consumed", merge_mode="max",
-                      device=dev).set(wear.lifetime_consumed)
+            self._gauge("flash_wear_max_erases", "max").set(wear.max_erases)
+            self._gauge("flash_wear_skew", "last").set(wear.skew)
+            self._gauge("flash_lifetime_consumed", "max").set(
+                wear.lifetime_consumed)

@@ -13,6 +13,7 @@ of the exact ``np.percentile`` value (property-tested in
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 
 from repro._hot import HOT
 
@@ -108,8 +109,8 @@ class Histogram:
     than enough for latency percentiles, where run-to-run noise dwarfs it.
     """
 
-    __slots__ = ("lo", "growth", "_log_growth", "_counts", "count", "sum",
-                 "min", "max", "exemplar_sink")
+    __slots__ = ("lo", "growth", "_log_growth", "_bounds", "_counts",
+                 "count", "sum", "min", "max", "exemplar_sink", "_pending")
 
     kind = "histogram"
 
@@ -121,7 +122,16 @@ class Histogram:
         self.lo = lo
         self.growth = growth
         self._log_growth = math.log(growth)
+        # Exact bucket-boundary table: _bounds[i] is the smallest float
+        # whose reference bucket index is i+1, so bisect_right gives the
+        # same index as the log formula (see bucket_index).  Grown lazily
+        # as larger samples arrive.
+        self._bounds: list[float] = [lo]
         self._counts: dict[int, int] = {}
+        # Bucket increments since the last take_bucket_deltas() drain —
+        # lets the timeline recorder emit per-window sub-histograms in
+        # O(changed buckets) instead of re-diffing the whole dict.
+        self._pending: dict[int, int] = {}
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -132,10 +142,51 @@ class Histogram:
 
     # -- recording -----------------------------------------------------------
 
-    def bucket_index(self, value: float) -> int:
+    def _reference_bucket_index(self, value: float) -> int:
+        """The original log-formula index — the oracle the boundary
+        table is built against (and that the property suite pins
+        :meth:`bucket_index` to)."""
         if value < self.lo:
             return 0
         return 1 + int(math.log(value / self.lo) / self._log_growth)
+
+    def _extend_bounds(self, value: float) -> None:
+        """Grow the boundary table until it covers ``value``.
+
+        Each new boundary starts at the analytic ``lo * growth**(i-1)``
+        and is then walked by ulps (``math.nextafter``) to the exact
+        float where the reference formula first reaches the new index —
+        so bisecting the table reproduces the formula bit for bit,
+        including its floating-point rounding at bucket edges.
+        """
+        bounds = self._bounds
+        ref = self._reference_bucket_index
+        while bounds[-1] <= value:
+            idx = len(bounds) + 1  # reference index just past the new boundary
+            c = self.lo * self.growth ** (idx - 1)
+            if ref(c) >= idx:
+                while True:
+                    p = math.nextafter(c, 0.0)
+                    if p > bounds[-1] and ref(p) >= idx:
+                        c = p
+                    else:
+                        break
+            else:
+                while ref(c) < idx:
+                    c = math.nextafter(c, math.inf)
+            bounds.append(c)
+
+    def bucket_index(self, value: float) -> int:
+        bounds = self._bounds
+        if value >= bounds[-1]:
+            if value == math.inf:
+                # The formula's behaviour for inf (OverflowError from
+                # int(inf)) is part of the contract; the table can't
+                # cover it.
+                return self._reference_bucket_index(value)
+            self._extend_bounds(value)
+            bounds = self._bounds
+        return bisect_right(bounds, value)
 
     def bucket_bounds(self, index: int) -> tuple[float, float]:
         """The ``[lower, upper)`` range of one bucket."""
@@ -154,6 +205,7 @@ class Histogram:
         HOT.histogram_records += 1
         b = self.bucket_index(value)
         self._counts[b] = self._counts.get(b, 0) + 1
+        self._pending[b] = self._pending.get(b, 0) + 1
         self.count += 1
         self.sum += value
         if value < self.min:
@@ -169,11 +221,14 @@ class Histogram:
 
     # -- percentile extraction -----------------------------------------------
 
-    def _order_stat(self, index: int) -> float:
-        """Estimate the ``index``-th smallest sample (0-based)."""
+    def _order_stat(self, index: int, items: list[tuple[int, int]]) -> float:
+        """Estimate the ``index``-th smallest sample (0-based).
+
+        ``items`` is the bucket dict sorted by index — passed in so one
+        sort serves every order statistic of a percentile batch.
+        """
         remaining = index
-        for b in sorted(self._counts):
-            c = self._counts[b]
+        for b, c in items:
             if remaining < c:
                 lo, hi = self.bucket_bounds(b)
                 frac = (remaining + 0.5) / c
@@ -181,7 +236,8 @@ class Histogram:
             remaining -= c
         return self.max
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: float, *,
+                   _items: list[tuple[int, int]] | None = None) -> float:
         """The q-th percentile, within one bucket width of the exact value.
 
         Matches ``np.percentile``'s linear interpolation between order
@@ -196,12 +252,14 @@ class Histogram:
         rank = q / 100.0 * (self.count - 1)
         i0 = math.floor(rank)
         i1 = math.ceil(rank)
-        v0 = self._order_stat(i0)
-        v = v0 if i1 == i0 else v0 + (rank - i0) * (self._order_stat(i1) - v0)
+        items = sorted(self._counts.items()) if _items is None else _items
+        v0 = self._order_stat(i0, items)
+        v = v0 if i1 == i0 else v0 + (rank - i0) * (self._order_stat(i1, items) - v0)
         return min(max(v, self.min), self.max)
 
     def percentiles(self, qs=DEFAULT_PERCENTILES) -> tuple[float, ...]:
-        return tuple(self.percentile(q) for q in qs)
+        items = sorted(self._counts.items())
+        return tuple(self.percentile(q, _items=items) for q in qs)
 
     @property
     def mean(self) -> float:
@@ -219,10 +277,22 @@ class Histogram:
             )
         for b, c in other._counts.items():
             self._counts[b] = self._counts.get(b, 0) + c
+            self._pending[b] = self._pending.get(b, 0) + c
         self.count += other.count
         self.sum += other.sum
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+
+    def take_bucket_deltas(self) -> dict[int, int]:
+        """Drain the bucket increments since the previous drain.
+
+        Single-consumer by design: the timeline recorder (at most one
+        per registry) owns the drain.  Increments accumulate from
+        construction, so the first drain equals the full bucket dict.
+        """
+        out = self._pending
+        self._pending = {}
+        return out
 
     def snapshot(self) -> dict:
         out = {

@@ -418,3 +418,64 @@ def format_profile(doc: dict, top: int | None = None) -> str:
             f"{tax['wall_s_obs_off']:.2f} s without -> "
             f"{tax['fraction']:.1%} of wall is observability ({match})")
     return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Before/after comparison against a BENCH document
+# ---------------------------------------------------------------------------
+
+def baseline_wall_ns_per_op(bench_doc: dict) -> dict[str, float]:
+    """Suite-level ``wall_ns_per_op`` from a BENCH document's host blocks.
+
+    A BENCH document records one host block per scenario; the profiler
+    covers a whole suite in one capture, so the per-scenario baselines
+    must be pooled the way the profiler pools them: total serve wall
+    divided by total op count.  Only closed-loop scenarios enter the
+    pool — ``repro profile`` skips open-loop scenarios (cProfile is
+    per-thread), so including them would skew the denominator.
+    """
+    total_wall_ns = 0.0
+    counts: dict[str, int] = {}
+    for sc in bench_doc.get("scenarios", {}).values():
+        host = sc.get("host")
+        config = sc.get("config", {})
+        if not host or config.get("arrival") != "closed":
+            continue
+        total_wall_ns += (
+            host.get("wall_us_per_query", 0.0) * config.get("queries", 0) * 1e3
+        )
+        for op, n in host.get("counters", {}).items():
+            counts[op] = counts.get(op, 0) + int(n)
+    return {op: total_wall_ns / n for op, n in counts.items() if n > 0}
+
+
+def format_wall_ns_delta(doc: dict, bench_doc: dict,
+                         label: str = "baseline") -> str:
+    """The before/after ``wall_ns_per_op`` table vs a BENCH document.
+
+    Current values come from a cProfile capture and therefore include
+    instrumentation overhead the baseline walls do not; a real
+    improvement shows up *despite* that handicap, so negative deltas
+    understate the true gain (noted under the table).
+    """
+    from repro.analysis.tables import format_table
+
+    baseline = baseline_wall_ns_per_op(bench_doc)
+    current = doc.get("wall_ns_per_op", {})
+    rows = []
+    for op in sorted(set(baseline) | set(current)):
+        before = baseline.get(op)
+        now = current.get(op)
+        delta = (f"{(now - before) / before:+.1%}"
+                 if before and now is not None else "-")
+        rows.append([
+            op,
+            f"{before:,.0f}" if before is not None else "-",
+            f"{now:,.0f}" if now is not None else "-",
+            delta,
+        ])
+    table = format_table(
+        ["hot op", f"{label} ns/op", "now ns/op", "delta"], rows,
+        title=f"wall ns/op vs {label}")
+    return (table + "\n(current walls include cProfile overhead; "
+            "negative deltas understate the real improvement)")

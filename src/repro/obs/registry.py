@@ -19,6 +19,8 @@ _TagKey = tuple[tuple[str, str], ...]
 
 
 def _tag_key(tags: dict) -> _TagKey:
+    if not tags:
+        return ()
     return tuple(sorted((k, str(v)) for k, v in tags.items()))
 
 
@@ -27,6 +29,10 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, _TagKey], Counter | Gauge | Histogram] = {}
+        # Sorted-identity cache for items(): rebuilt only when an
+        # instrument is created, so per-window timeline iteration skips
+        # the full sort.
+        self._sorted: list | None = None
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -37,6 +43,7 @@ class MetricsRegistry:
         if inst is None:
             inst = factory()
             self._metrics[key] = inst
+            self._sorted = None
         elif inst.kind != kind:
             raise TypeError(
                 f"metric {name!r} with tags {dict(tags)} already registered "
@@ -73,9 +80,18 @@ class MetricsRegistry:
     # -- iteration and export ------------------------------------------------
 
     def items(self) -> Iterator[tuple[str, dict, Counter | Gauge | Histogram]]:
-        """Yield ``(name, tags, instrument)`` sorted by identity."""
-        for (name, tag_key), inst in sorted(self._metrics.items()):
-            yield name, dict(tag_key), inst
+        """Yield ``(name, tags, instrument)`` sorted by identity.
+
+        The sorted view is cached between instrument creations; callers
+        must treat the yielded tags dicts as read-only.
+        """
+        cache = self._sorted
+        if cache is None:
+            cache = self._sorted = [
+                (name, dict(tag_key), inst)
+                for (name, tag_key), inst in sorted(self._metrics.items())
+            ]
+        return iter(cache)
 
     def get(self, name: str, **tags):
         """The instrument at this identity, or None."""

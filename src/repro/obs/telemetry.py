@@ -28,6 +28,10 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Telemetry", "stage_of_channel"]
 
+#: Sentinel distinguishing "channel not seen yet" from the legitimate
+#: None stage (background channels) in the per-channel stage cache.
+_UNRESOLVED = object()
+
 
 def stage_of_channel(channel: str) -> str | None:
     """Map a clock busy channel to a query stage.
@@ -76,6 +80,14 @@ class Telemetry:
         self._exemplar_hists: set[int] = set()
         self.blame = None
         self._blame_stream_path: str | None = None
+        # Hot-path instrument caches: record_query runs once per query,
+        # so channel->stage mapping and the per-stage / per-situation
+        # instruments are resolved once and reused instead of going
+        # through the registry's (name, tags) lookup every time.
+        self._channel_stages: dict[str, str | None] = {}
+        self._stage_hists: dict = {}
+        self._situation_insts: dict = {}
+        self._occupancy_gauges: dict = {}
 
     def bind_clock(self, clock) -> None:
         """Late-bind the tracer and audit log to a clock (managers own
@@ -190,16 +202,28 @@ class Telemetry:
             kernel_bridge.collect()
         for stats_bridge in self._stats:
             stats_bridge.collect()
+        gauges = self._occupancy_gauges
         for fn in self._occupancy:
             occ = fn()
             depth = occ.pop("write_buffer", None)
             if depth is not None:
-                self.registry.gauge("cache_write_buffer_entries").set(depth)
+                g = gauges.get("write_buffer")
+                if g is None:
+                    g = gauges["write_buffer"] = self.registry.gauge(
+                        "cache_write_buffer_entries")
+                g.set(depth)
             for slot, value in occ.items():
-                self.registry.gauge("cache_occupancy", slot=slot).set(value)
+                g = gauges.get(slot)
+                if g is None:
+                    g = gauges[slot] = self.registry.gauge(
+                        "cache_occupancy", slot=slot)
+                g.set(value)
 
     def busy_snapshot(self, clock) -> dict[str, float]:
         """Per-channel busy time now; pass to :meth:`record_query` later."""
+        snap = getattr(clock, "busy_snapshot", None)
+        if snap is not None:
+            return snap()
         return {ch: clock.busy_us(ch) for ch in clock.channels()}
 
     def record_query(self, situation: str, response_us: float,
@@ -230,24 +254,46 @@ class Telemetry:
                 store.set_context(qid, span_id,
                                   self.timeline.current_window(),
                                   clock.now_us)
+        stages = self._channel_stages
+        stage_hists = self._stage_hists
+        busy_items = getattr(clock, "busy_items", None)
+        if busy_items is None:  # duck-typed clocks without the fast view
+            busy_items = lambda: ((ch, clock.busy_us(ch))  # noqa: E731
+                                  for ch in clock.channels())
         devices = 0.0
-        for ch in clock.channels():
-            stage = stage_of_channel(ch)
+        for ch, busy in busy_items():
+            stage = stages.get(ch, _UNRESOLVED)
+            if stage is _UNRESOLVED:
+                stage = stages[ch] = stage_of_channel(ch)
             if stage is None:
                 continue
-            delta = clock.busy_us(ch) - busy_before.get(ch, 0.0)
+            delta = busy - busy_before.get(ch, 0.0)
             if delta > 0.0:
-                reg.histogram("stage_latency_us", stage=stage).record(delta)
+                h = stage_hists.get(stage)
+                if h is None:
+                    h = stage_hists[stage] = reg.histogram(
+                        "stage_latency_us", stage=stage)
+                h.record(delta)
                 devices += delta
         cpu = response_us - devices
         if cpu > 1e-9:
-            reg.histogram("stage_latency_us", stage="cpu").record(cpu)
-        hist = reg.histogram("query_latency_us", situation=situation)
+            h = stage_hists.get("cpu")
+            if h is None:
+                h = stage_hists["cpu"] = reg.histogram(
+                    "stage_latency_us", stage="cpu")
+            h.record(cpu)
+        insts = self._situation_insts.get(situation)
+        if insts is None:
+            insts = self._situation_insts[situation] = (
+                reg.histogram("query_latency_us", situation=situation),
+                reg.counter("queries_total", situation=situation),
+            )
+        hist, queries_total = insts
         if store is not None and id(hist) not in self._exemplar_hists:
             store.register(hist, f"query_latency_us{{situation={situation}}}")
             self._exemplar_hists.add(id(hist))
         hist.record(response_us)
-        reg.counter("queries_total", situation=situation).inc()
+        queries_total.inc()
         if store is not None:
             store.clear_context()
 

@@ -239,7 +239,11 @@ class TimelineRecorder:
         self._stream_path = None
         self._last_counters: dict[str, float] = {}
         self._last_gauges: dict[str, float] = {}
-        self._last_hists: dict[str, tuple[int, float, dict]] = {}
+        self._last_hists: dict[str, tuple[int, float]] = {}
+        # series_key(name, tags) per instrument, keyed by identity —
+        # instruments are immortal within a registry, so the key never
+        # needs recomputing once built.
+        self._series_keys: dict[int, str] = {}
 
     # -- streaming -----------------------------------------------------------
 
@@ -258,6 +262,8 @@ class TimelineRecorder:
             "window_us": self.window_us,
         }) + "\n")
         for rec in self.windows:
+            if "derived" not in rec:
+                rec["derived"] = derive_window(rec)
             self._stream.write(json.dumps(rec) + "\n")
 
     # -- recording -----------------------------------------------------------
@@ -279,6 +285,9 @@ class TimelineRecorder:
             return
         self._finished = True
         self._close_open_window()
+        for rec in self.windows:
+            if "derived" not in rec:
+                rec["derived"] = derive_window(rec)
         if self._stream is not None:
             if self.exemplars is not None:
                 for rec in self.exemplars.to_dicts():
@@ -301,8 +310,11 @@ class TimelineRecorder:
         counters: dict[str, float] = {}
         gauges: dict[str, float] = {}
         hists: dict[str, dict] = {}
+        skeys = self._series_keys
         for name, tags, inst in self.registry.items():
-            key = series_key(name, tags)
+            key = skeys.get(id(inst))
+            if key is None:
+                key = skeys[id(inst)] = series_key(name, tags)
             if inst.kind == "counter":
                 prev = self._last_counters.get(key, 0)
                 if inst.value != prev:
@@ -314,14 +326,9 @@ class TimelineRecorder:
                     gauges[key] = inst.value
                     self._last_gauges[key] = inst.value
             else:
-                prev_c, prev_s, prev_b = self._last_hists.get(
-                    key, (0, 0.0, {}))
+                prev_c, prev_s = self._last_hists.get(key, (0, 0.0))
                 if inst.count != prev_c:
-                    delta_b = {
-                        b: c - prev_b.get(b, 0)
-                        for b, c in inst._counts.items()
-                        if c != prev_b.get(b, 0)
-                    }
+                    delta_b = inst.take_bucket_deltas()
                     hists[key] = {
                         "count": inst.count - prev_c,
                         "sum": inst.sum - prev_s,
@@ -330,8 +337,7 @@ class TimelineRecorder:
                         "buckets": {str(b): c
                                     for b, c in sorted(delta_b.items())},
                     }
-                    self._last_hists[key] = (inst.count, inst.sum,
-                                             dict(inst._counts))
+                    self._last_hists[key] = (inst.count, inst.sum)
         if not (counters or gauges or hists):
             return  # sparse: nothing happened in this window
         rec = {
@@ -343,7 +349,12 @@ class TimelineRecorder:
             "gauges": gauges,
             "histograms": hists,
         }
-        rec["derived"] = derive_window(rec)
+        if self._stream is not None:
+            # Streamed records leave the process now, so they must carry
+            # their derived block; retained records defer derivation to
+            # finish() — pure post-processing of the window's own deltas,
+            # with no reason to bill it to the serving loop.
+            rec["derived"] = derive_window(rec)
         self.emitted += 1
         if len(self.windows) == self.windows.maxlen:
             self.dropped_windows += 1
@@ -446,9 +457,10 @@ def derive_window(rec: dict) -> dict:
 
     merged = _merged_response_hist(hists)
     if merged is not None:
-        out["p50_response_us"] = merged.percentile(50.0)
-        out["p99_response_us"] = merged.percentile(99.0)
-        out["p999_response_us"] = merged.percentile(99.9)
+        p50, p99, p999 = merged.percentiles((50.0, 99.0, 99.9))
+        out["p50_response_us"] = p50
+        out["p99_response_us"] = p99
+        out["p999_response_us"] = p999
 
     host = _sum_matching(counters, "flash_host_page_writes_total")
     gc = _sum_matching(counters, "flash_gc_page_writes_total")

@@ -129,6 +129,19 @@ class VirtualClock:
         """Names of all channels that have been charged."""
         return tuple(self._busy_us)
 
+    def busy_snapshot(self) -> dict[str, float]:
+        """All per-channel busy totals as one dict copy.
+
+        Equivalent to ``{ch: clock.busy_us(ch) for ch in clock.channels()}``
+        without the per-channel method calls — the telemetry layer takes
+        one of these before every query.
+        """
+        return dict(self._busy_us)
+
+    def busy_items(self):
+        """Live ``(channel, busy_us)`` view for read-only iteration."""
+        return self._busy_us.items()
+
     def reset(self) -> None:
         """Zero the clock and all busy-time channels."""
         self._now_us = 0.0

@@ -12,7 +12,9 @@ from repro.obs import (
     HotCounters,
     Profiler,
     Telemetry,
+    baseline_wall_ns_per_op,
     format_profile,
+    format_wall_ns_delta,
     func_label,
     load_folded,
     load_profile,
@@ -327,3 +329,55 @@ def test_measure_obs_tax_reports_fraction_and_match():
 def test_measure_obs_tax_flags_divergence():
     tax = measure_obs_tax(lambda: {"m": 1}, lambda: {"m": 2})
     assert tax["simulated_match"] is False
+
+
+# -- before/after comparison against a BENCH document ------------------------
+
+def _bench_doc():
+    return {
+        "scenarios": {
+            "a": {
+                "config": {"arrival": "closed", "queries": 1000},
+                "host": {
+                    "wall_us_per_query": 100.0,   # 0.1 s total serve wall
+                    "counters": {"ftl_map_lookups": 50_000,
+                                 "idle_op": 0},
+                },
+            },
+            "b": {
+                "config": {"arrival": "closed", "queries": 500},
+                "host": {
+                    "wall_us_per_query": 200.0,   # 0.1 s total serve wall
+                    "counters": {"ftl_map_lookups": 50_000,
+                                 "lru_node_moves": 2_000},
+                },
+            },
+            "open": {  # open-loop scenarios are excluded from the pool
+                "config": {"arrival": "open", "queries": 10_000},
+                "host": {
+                    "wall_us_per_query": 999.0,
+                    "counters": {"ftl_map_lookups": 1},
+                },
+            },
+        },
+    }
+
+
+def test_baseline_wall_ns_per_op_pools_closed_loop_scenarios():
+    base = baseline_wall_ns_per_op(_bench_doc())
+    # 0.2 s pooled wall over 100k lookups = 2000 ns/op.
+    assert base["ftl_map_lookups"] == pytest.approx(2000.0)
+    # 0.2 s over 2k moves = 100_000 ns/op.
+    assert base["lru_node_moves"] == pytest.approx(100_000.0)
+    # Zero-count ops never divide.
+    assert "idle_op" not in base
+
+
+def test_format_wall_ns_delta_reports_improvements():
+    doc = {"wall_ns_per_op": {"ftl_map_lookups": 1000.0,
+                              "new_op": 5.0}}
+    table = format_wall_ns_delta(doc, _bench_doc(), label="BENCH_X")
+    assert "ftl_map_lookups" in table
+    assert "-50.0%" in table          # 2000 -> 1000 ns/op
+    assert "new_op" in table          # present now, absent in baseline
+    assert "cProfile overhead" in table
