@@ -16,7 +16,10 @@ cache, replays a query stream, and shows every exposition surface:
 * the host profiler: wall-clock attribution by subsystem, hot-path
   counters, and flamegraph-ready collapsed stacks (`repro profile`),
 * kernel blame: per-query critical-path decomposition under open-loop
-  load, differential tail blame, and the capacity model (`repro blame`).
+  load, differential tail blame, and the capacity model (`repro blame`),
+* the flight recorder: streaming SLO/anomaly verdicts over each window
+  as it closes, and the self-contained incident bundle a past-the-knee
+  overload dumps (`repro incidents` / `repro explain --incident`).
 
 Run:  python examples/telemetry_tour.py
 """
@@ -34,6 +37,7 @@ from repro import (
 )
 from repro.obs import (
     DEFAULT_SLOS,
+    FlightRecorder,
     Profiler,
     Telemetry,
     assemble_queries,
@@ -43,9 +47,11 @@ from repro.obs import (
     format_explanation,
     format_query_blame,
     format_stage_breakdown,
+    list_incidents,
     run_detectors,
     sparkline,
     steady_state_window,
+    validate_incident_dir,
     window_series,
     write_telemetry_dir,
 )
@@ -214,6 +220,34 @@ def main() -> None:
     print(f"capacity: bottleneck {cap['bottleneck']} at "
           f"{cap['bottleneck_utilization']:.0%}, knee ~{cap['knee_qps']:.0f} "
           f"qps, Little's-law self-check {check}")
+
+    # 13. Flight recorder: arm the black box, push the system past the
+    # knee, and an incident bundle falls out — trigger verdict, the
+    # surrounding windows, span trees, blame critical paths, audit
+    # trail, capacity snapshot, config fingerprint — self-contained and
+    # schema-valid (`repro incidents DIR`, `repro explain --incident N`).
+    fr_tel = Telemetry(trace=False, audit=False)
+    fr_tel.attach_timeline(window_us=10_000.0)
+    fr_mgr = CacheManager(cfg, build_hierarchy_for(cfg, index), index,
+                          telemetry=fr_tel)
+    with tempfile.TemporaryDirectory() as out:
+        flight = FlightRecorder(fr_tel, out_dir=out,
+                                config={"tour": "past-knee"}).arm()
+        run_open_loop(fr_mgr, list(open_log),
+                      PoissonArrivals(3000.0, seed=5),
+                      concurrency=2, max_queue=64, label="overload")
+        fr_tel.timeline.finish()
+        n = flight.finish()
+        print(f"\nflight recorder: {n} incident(s) under overload")
+        for bundle, man in zip(list_incidents(out), flight.incidents):
+            counts = validate_incident_dir(bundle)  # raises if not valid
+            print(f"  trigger [{man['trigger']['severity']}] "
+                  f"{man['trigger']['detector']} @ window "
+                  f"{man['trigger_window']}: {man['trigger']['detail']}")
+            print(f"  evidence: {counts['windows']} windows, "
+                  f"{counts['spans']} spans, {counts['blame_queries']} "
+                  f"blame queries, fingerprint "
+                  f"{man['config']['fingerprint']}")
 
 
 if __name__ == "__main__":

@@ -303,6 +303,12 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg,
 
     tel = Telemetry(trace=False, audit=False)
     timeline = tel.attach_timeline(window_us=METHODOLOGY["window_us"])
+    # Counting-mode flight recorder (no out_dir): incident counts become
+    # bench measurements without writing bundles into the results tree.
+    from repro.obs import FlightRecorder
+
+    flight = FlightRecorder(tel, out_dir=None,
+                            config=scenario.to_dict()).arm()
     manager = CacheManager(cfg, build_hierarchy_for(cfg, index), index,
                            telemetry=tel)
     if cfg.policy is Policy.CBSLRU and cfg.uses_ssd:
@@ -328,6 +334,7 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg,
         )
         wall = time.perf_counter() - t0
     timeline.finish()
+    incidents = flight.finish()
     rec = getattr(tel, "blame", None)
     blame_block = None
     if rec is not None and rec.admission is not None:
@@ -381,7 +388,11 @@ def _run_open_scenario(scenario: BenchScenario, index, log, cfg,
         "rejected": result.rejected,
         "bottleneck": bottleneck,
         "windows_total": len(timeline.windows),
+        "incidents": incidents,
     }
+    if incidents:
+        measurement["incident_triggers"] = sorted(
+            {m["trigger"]["detector"] for m in flight.incidents})
     # Kernel tasks run on OS threads and cProfile is per-thread, so open
     # scenarios carry only the timing fields of the host block.
     host = {

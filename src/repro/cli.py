@@ -105,6 +105,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window-ms", type=float, default=50.0,
                    help="timeline window width in virtual-clock "
                         "milliseconds (default 50)")
+    p.add_argument("--max-windows", type=int, default=None, metavar="N",
+                   help="rotate DIR/timeline.jsonl after N streamed "
+                        "windows (bounds on-disk growth; one .1 "
+                        "generation is kept; requires --timeline)")
+    p.add_argument("--max-blame-records", type=int, default=None,
+                   metavar="N",
+                   help="rotate DIR/blame.jsonl after N streamed records")
+    p.add_argument("--live-port", type=int, default=None, metavar="PORT",
+                   help="serve the live observability plane on PORT "
+                        "while the run executes (/metrics OpenMetrics "
+                        "scrape, /windows stream, /status; requires "
+                        "--timeline)")
+    p.add_argument("--no-flight", action="store_true",
+                   help="disable the flight recorder (kernel-mode runs "
+                        "with --timeline arm it by default)")
+    p.add_argument("--incident-severity", choices=("warn", "critical"),
+                   default="critical",
+                   help="anomaly severity that opens an incident bundle "
+                        "(default critical)")
 
     p = sub.add_parser("report",
                        help="print the per-stage breakdown of a telemetry dir")
@@ -165,8 +184,35 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--query", type=int, default=None,
                    help="trace a tail-latency exemplar for this query id "
                         "(needs a dir written with --timeline)")
+    g.add_argument("--incident", type=int, default=None, metavar="N",
+                   help="walk flight-recorder incident bundle N end to "
+                        "end (trigger, SLO state, blame, evidence)")
     p.add_argument("--at-us", type=float, default=None,
                    help="reconstruct state as of this virtual-clock time")
+
+    p = sub.add_parser("top",
+                       help="run dashboard: sparklines, SLO status and "
+                            "incidents from a live port or a telemetry "
+                            "dir")
+    p.add_argument("target", type=str,
+                   help="live plane (PORT or HOST:PORT from `repro run "
+                        "--live-port`) or a finished telemetry dir")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (CI-friendly)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh interval in seconds (default 2)")
+    p.add_argument("--width", type=int, default=60,
+                   help="sparkline width in characters")
+
+    p = sub.add_parser("incidents",
+                       help="list and validate flight-recorder incident "
+                            "bundles under a telemetry dir")
+    p.add_argument("dir", type=str)
+    p.add_argument("--require", type=int, default=None, metavar="N",
+                   help="exit non-zero unless at least N valid bundles "
+                        "are present")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON document")
 
     p = sub.add_parser("compare",
                        help="run all three policies and emit a markdown "
@@ -283,13 +329,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.core.config import CacheConfig, Policy
-    from repro.core.intersections import ThreeLevelCacheManager
-    from repro.core.manager import CacheManager, build_hierarchy_for
-    from repro.workloads.sweep import make_log_for, make_scaled_index
-
     if args.timeline and not args.telemetry:
         print("error: --timeline requires --telemetry DIR", file=sys.stderr)
+        return 2
+    if not args.timeline and (args.live_port is not None
+                              or args.max_windows is not None):
+        print("error: --live-port/--max-windows require --timeline",
+              file=sys.stderr)
         return 2
     telemetry = None
     if args.telemetry:
@@ -306,14 +352,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Kernel blame records stream the same way once a kernel is
         # observed; closed-loop concurrency-1 runs have no kernel and
         # simply never open the file.
-        telemetry.stream_blame(os.path.join(args.telemetry, "blame.jsonl"))
+        telemetry.stream_blame(os.path.join(args.telemetry, "blame.jsonl"),
+                               max_records=args.max_blame_records)
         if args.timeline:
             # Windows stream the same way: each one is written the
             # moment it closes.
             telemetry.attach_timeline(
                 window_us=args.window_ms * 1000.0,
                 stream_path=os.path.join(args.telemetry, "timeline.jsonl"),
+                max_windows=args.max_windows,
             )
+
+    # Kernel-mode runs with a timeline arm the flight recorder: a
+    # black-box ring over the run that dumps incident-<n>/ bundles when
+    # a streaming detector fires at trigger severity.
+    flight = None
+    kernel_mode = args.arrival != "closed" or args.concurrency > 1
+    if (telemetry is not None and args.timeline and kernel_mode
+            and not args.no_flight):
+        from repro.obs import FlightRecorder
+
+        flight = FlightRecorder(
+            telemetry,
+            out_dir=args.telemetry,
+            trigger_severity=args.incident_severity,
+            config={
+                "policy": args.policy, "docs": args.docs,
+                "queries": args.queries, "mem_mb": args.mem_mb,
+                "ssd_mb": args.ssd_mb, "arrival": args.arrival,
+                "rate_qps": args.rate_qps,
+                "concurrency": args.concurrency,
+                "max_queue": args.max_queue, "seed": args.seed,
+                "window_ms": args.window_ms,
+            },
+        ).arm()
+
+    live = None
+    if args.live_port is not None:
+        from repro.obs import LiveServer
+
+        # Started after flight.arm() so the recorder's window callback
+        # runs first and the server can reuse its evaluator state.
+        live = LiveServer(
+            telemetry, port=args.live_port, flight=flight,
+            run_info={"policy": args.policy, "arrival": args.arrival,
+                      "dir": args.telemetry},
+        ).start()
+        print(f"live plane at {live.url()} (/metrics /windows /status)")
+    try:
+        return _run_serve_and_report(args, telemetry, flight)
+    finally:
+        if live is not None:
+            live.close()
+
+
+def _run_serve_and_report(args: argparse.Namespace, telemetry,
+                          flight) -> int:
+    from repro.core.config import CacheConfig, Policy
+    from repro.core.intersections import ThreeLevelCacheManager
+    from repro.core.manager import CacheManager, build_hierarchy_for
+    from repro.workloads.sweep import make_log_for, make_scaled_index
 
     index = make_scaled_index(args.docs)
     log = make_log_for(args.queries, seed=args.seed)
@@ -459,6 +557,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"timeline: {timeline.emitted} windows x "
                   f"{args.window_ms:g} ms, {n_ex} exemplars, {steady_txt} "
                   f"-> {args.telemetry}/timeline.jsonl")
+        if flight is not None:
+            n = flight.finish()  # idempotent; write_telemetry_dir flushed
+            if n:
+                trig = flight.incidents[-1]["trigger"]
+                print(f"flight recorder: {n} incident bundle(s) -> "
+                      f"{args.telemetry}/incident-*/ (latest trigger "
+                      f"[{trig['severity']}] {trig['detector']}; see "
+                      f"`repro incidents {args.telemetry}`)")
+            else:
+                print("flight recorder: armed, no incidents")
     return 0
 
 
@@ -928,15 +1036,24 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     from repro.obs import explain_subject, format_explanation, load_audit_jsonl
 
+    if args.incident is not None:
+        return _explain_incident(args.path, args.incident)
     if args.query is not None:
         return _explain_query(args.path, args.query)
     path = args.path
     if os.path.isdir(path):
         path = os.path.join(path, "audit.jsonl")
     if not os.path.exists(path):
-        raise SystemExit(f"no audit trail at {path} "
-                         "(run with --telemetry and auditing enabled)")
-    records = load_audit_jsonl(path)
+        print(f"error: no audit trail at {path} "
+              "(run with --telemetry and auditing enabled)",
+              file=sys.stderr)
+        return 2
+    try:
+        records = load_audit_jsonl(path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {path}: not a usable audit trail ({exc})",
+              file=sys.stderr)
+        return 2
     if args.term is not None:
         kind, key = "list", args.term
     elif args.rb is not None:
@@ -1043,6 +1160,114 @@ def _explain_query(dir_path: str, query_id: int) -> int:
         print("\nkernel blame (wait vs service per resource):")
         for q in blame_match:
             print(format_query_blame(q))
+    return 0
+
+
+def _explain_incident(dir_path: str, n: int) -> int:
+    """Walk one flight-recorder incident bundle end to end."""
+    import os
+
+    from repro.obs import format_incident, list_incidents, load_incident
+
+    if not os.path.isdir(dir_path):
+        print(f"error: {dir_path}: --incident needs a telemetry directory "
+              f"(written by a kernel-mode `repro run --telemetry DIR "
+              f"--timeline`)", file=sys.stderr)
+        return 2
+    bundles = list_incidents(dir_path)
+    want = os.path.join(dir_path, f"incident-{n}")
+    if want not in bundles:
+        have = ", ".join(os.path.basename(b) for b in bundles) or "none"
+        print(f"error: no incident-{n} under {dir_path} (have: {have})",
+              file=sys.stderr)
+        return 2
+    try:
+        incident = load_incident(want)
+    except (ValueError, OSError) as exc:
+        print(f"error: {want}: unreadable incident bundle ({exc})",
+              file=sys.stderr)
+        return 2
+    print(format_incident(incident))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.obs import fetch_status, format_top_frame, status_from_dir
+
+    def frame() -> str:
+        if os.path.isdir(args.target):
+            status = status_from_dir(args.target)
+        else:
+            status = fetch_status(args.target)
+        return format_top_frame(status, width=args.width)
+
+    try:
+        if args.once:
+            print(frame())
+            return 0
+        while True:
+            body = frame()
+            sys.stdout.write("\x1b[2J\x1b[H" + body + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ValueError, OSError) as exc:
+        print(f"error: {args.target}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.obs import list_incidents, validate_incident_dir
+
+    if not os.path.isdir(args.dir):
+        print(f"error: {args.dir}: not a directory", file=sys.stderr)
+        return 2
+    rows = []
+    docs = []
+    valid = 0
+    for bundle in list_incidents(args.dir):
+        name = os.path.basename(bundle)
+        try:
+            counts = validate_incident_dir(bundle)
+        except (ValueError, OSError) as exc:
+            rows.append([name, f"INVALID: {exc}", "-", "-", "-"])
+            docs.append({"bundle": name, "valid": False,
+                         "error": str(exc)})
+            continue
+        valid += 1
+        with open(os.path.join(bundle, "incident.json")) as fh:
+            manifest = json.load(fh)
+        trig = manifest["trigger"]
+        rows.append([
+            name,
+            f"[{trig['severity']}] {trig['detector']}",
+            trig["window"],
+            len(manifest["qids"]),
+            f"{counts['windows']}w/{counts['spans']}s/"
+            f"{counts['blame_queries']}q/{counts['audit_records']}a",
+        ])
+        docs.append({"bundle": name, "valid": True, "manifest": manifest,
+                     "counts": counts})
+    if args.json:
+        print(json.dumps({"dir": args.dir, "valid": valid,
+                          "bundles": docs}, indent=1))
+    elif rows:
+        print(format_table(
+            ["bundle", "trigger", "window", "qids", "evidence"], rows,
+            title=f"incidents in {args.dir}"))
+    else:
+        print(f"no incident bundles in {args.dir}")
+    if args.require is not None and valid < args.require:
+        print(f"error: {valid} valid incident bundle(s), need >= "
+              f"{args.require}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1232,6 +1457,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "timeline": _cmd_timeline,
         "blame": _cmd_blame,
         "explain": _cmd_explain,
+        "top": _cmd_top,
+        "incidents": _cmd_incidents,
         "compare": _cmd_compare,
         "bench": _cmd_bench,
         "profile": _cmd_profile,

@@ -52,7 +52,22 @@ from repro.obs.export import (
     write_telemetry_dir,
 )
 from repro.obs.flash_metrics import FlashDeviceMetrics
+from repro.obs.flightrecorder import (
+    INCIDENT_SCHEMA,
+    FlightRecorder,
+    format_incident,
+    list_incidents,
+    load_incident,
+    validate_incident_dir,
+)
 from repro.obs.kernel_metrics import KernelMetrics
+from repro.obs.live import (
+    LIVE_SCHEMA,
+    LiveServer,
+    fetch_status,
+    format_top_frame,
+    status_from_dir,
+)
 from repro.obs.instruments import (
     DEFAULT_PERCENTILES,
     GAUGE_MERGE_MODES,
@@ -86,12 +101,16 @@ from repro.obs.slo import (
     Anomaly,
     SloResult,
     SloSpec,
+    StreamingDetectors,
+    StreamingShardSkew,
+    StreamingSloEvaluator,
     detect_shard_skew,
     detect_wait_dominated,
     evaluate_slo,
     evaluate_slos,
     parse_slo,
     run_detectors,
+    window_point,
 )
 from repro.obs.telemetry import Telemetry, stage_of_channel
 from repro.obs.timeline import (
@@ -108,7 +127,14 @@ from repro.obs.timeline import (
     validate_timeline_jsonl,
     window_series,
 )
-from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_spans_jsonl,
+)
+from repro.obs._jsonl import read_jsonl
 
 __all__ = [
     "Counter",
@@ -156,6 +182,23 @@ __all__ = [
     "detect_shard_skew",
     "detect_wait_dominated",
     "DEFAULT_SLOS",
+    "window_point",
+    "StreamingDetectors",
+    "StreamingShardSkew",
+    "StreamingSloEvaluator",
+    "INCIDENT_SCHEMA",
+    "FlightRecorder",
+    "list_incidents",
+    "load_incident",
+    "validate_incident_dir",
+    "format_incident",
+    "LIVE_SCHEMA",
+    "LiveServer",
+    "fetch_status",
+    "status_from_dir",
+    "format_top_frame",
+    "load_spans_jsonl",
+    "read_jsonl",
     "BLAME_SCHEMA",
     "BlameRecorder",
     "BlameLog",

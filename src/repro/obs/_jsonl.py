@@ -1,0 +1,45 @@
+"""Shared JSONL reading with torn-tail tolerance.
+
+Every streamed telemetry file (``spans.jsonl``, ``timeline.jsonl``,
+``blame.jsonl``, ``audit.jsonl``) is written one complete line at a
+time, so the only malformed line a reader should ever meet is the
+*last* one — a live run cut mid-record (crash, SIGKILL, disk full).
+:func:`read_jsonl` therefore parses every line strictly except the
+final one: a torn tail is skipped and *counted* (returned, never
+silently swallowed), while a parse failure anywhere earlier still
+raises — mid-file corruption is a real error, not an artifact of
+being killed.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["read_jsonl"]
+
+
+def read_jsonl(path) -> tuple[list[tuple[int, dict]], int]:
+    """Parse ``path`` into ``([(lineno, record), ...], torn_tail)``.
+
+    ``torn_tail`` is 1 when the file's last non-blank line failed to
+    parse (a record cut mid-write) and was skipped, else 0.  A parse
+    failure on any earlier line raises :class:`ValueError` with the
+    offending line number.
+    """
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+    numbered = [(i + 1, line.strip()) for i, line in enumerate(lines)
+                if line.strip()]
+    records: list[tuple[int, dict]] = []
+    torn = 0
+    for pos, (lineno, text) in enumerate(numbered):
+        try:
+            records.append((lineno, json.loads(text)))
+        except ValueError:
+            if pos == len(numbered) - 1:
+                torn = 1
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt JSONL record (not the "
+                    f"final line, so not a torn tail)") from None
+    return records, torn

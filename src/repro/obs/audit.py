@@ -36,6 +36,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.obs._jsonl import read_jsonl
+
 __all__ = [
     "AuditRecord",
     "AuditLog",
@@ -222,20 +224,23 @@ NULL_AUDIT = NullAudit()
 _RECORD_FIELDS = {"seq", "t_us", "type", "kind", "key", "data"}
 
 
-def load_audit_jsonl(path) -> list[dict]:
-    """Load an ``audit.jsonl`` file, validating the record schema."""
+def load_audit_jsonl(path, return_torn: bool = False):
+    """Load an ``audit.jsonl`` file, validating the record schema.
+
+    A torn final line (a live run cut mid-write) is skipped, not fatal;
+    pass ``return_torn=True`` to receive ``(records, torn_tail)``.
+    """
     out: list[dict] = []
-    with open(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            rec = json.loads(line)
-            missing = _RECORD_FIELDS - rec.keys()
-            if missing:
-                raise ValueError(
-                    f"{path}:{lineno}: audit record missing fields "
-                    f"{sorted(missing)}"
-                )
-            out.append(rec)
-    return out
+    records, torn = read_jsonl(path)
+    for lineno, rec in records:
+        missing = _RECORD_FIELDS - rec.keys()
+        if missing:
+            raise ValueError(
+                f"{path}:{lineno}: audit record missing fields "
+                f"{sorted(missing)}"
+            )
+        out.append(rec)
+    return (out, torn) if return_torn else out
 
 
 def _normalise_key(key: Any) -> Any:

@@ -35,8 +35,11 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from collections import deque
 from dataclasses import dataclass, field
+
+from repro.obs._jsonl import read_jsonl
 
 BLAME_SCHEMA = "repro.obs.blame/v1"
 
@@ -82,6 +85,9 @@ class BlameRecorder:
         self.shed_count = 0
         self._stream = None
         self._stream_path: str | None = None
+        self._max_stream_records: int | None = None
+        self._stream_records = 0
+        self._rotations = 0
         self._next_tid = 0
         # id(task) -> meta dict (holds a strong ref to the task so CPython
         # id() reuse cannot alias two tasks to one tid mid-run).
@@ -105,18 +111,43 @@ class BlameRecorder:
             self.start_us = kernel.clock.now_us
         return self
 
-    def open_stream(self, path: str) -> None:
+    def open_stream(self, path: str, max_records: int | None = None) -> None:
         """Stream every future record to ``path`` as JSONL (header first).
 
         Records already in the ring are flushed so the file is complete
-        regardless of when streaming started.
+        regardless of when streaming started.  ``max_records`` bounds
+        on-disk growth for long live runs: once that many records sit in
+        the file it rotates to ``<path>.1`` (replacing any previous
+        rotation), keeping at most two generations on disk;
+        :func:`load_blame_jsonl` reads the rotation back in order.
         """
         self.close_stream()
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self._max_stream_records = max_records
         self._stream_path = path
         self._stream = open(path, "w", encoding="utf-8")
         self._stream.write(json.dumps({"schema": BLAME_SCHEMA}) + "\n")
         for rec in self.records:
-            self._stream.write(json.dumps(rec) + "\n")
+            self._write_stream(rec)
+
+    def _write_stream(self, rec: dict) -> None:
+        self._stream.write(json.dumps(rec) + "\n")
+        self._stream_records += 1
+        if (self._max_stream_records is not None
+                and self._stream_records >= self._max_stream_records):
+            self._rotate_stream()
+
+    def _rotate_stream(self) -> None:
+        self._stream.close()
+        os.replace(self._stream_path, str(self._stream_path) + ".1")
+        self._rotations += 1
+        self._stream = open(self._stream_path, "w", encoding="utf-8")
+        self._stream.write(json.dumps({
+            "schema": BLAME_SCHEMA, "continuation": True,
+            "rotation": self._rotations,
+        }) + "\n")
+        self._stream_records = 0
 
     def close_stream(self) -> None:
         if self._stream is not None:
@@ -130,7 +161,7 @@ class BlameRecorder:
             self.dropped += 1
         self.records.append(rec)
         if self._stream is not None:
-            self._stream.write(json.dumps(rec) + "\n")
+            self._write_stream(rec)
 
     def _tid(self, task) -> int:
         meta = self._meta.get(id(task))
@@ -303,29 +334,47 @@ class BlameRecorder:
 
 @dataclass
 class BlameLog:
-    """A parsed ``repro.obs.blame/v1`` JSONL file."""
+    """A parsed ``repro.obs.blame/v1`` JSONL file.
+
+    ``torn_tail`` counts records lost to a mid-write cut (a live run
+    killed mid-line); the loader skips such a tail rather than raise.
+    """
 
     header: dict
     records: list = field(default_factory=list)
     resources: list = field(default_factory=list)
     footer: dict | None = None
+    torn_tail: int = 0
 
 
 def load_blame_jsonl(path: str) -> BlameLog:
-    """Parse a blame JSONL file (see :data:`BLAME_SCHEMA`)."""
-    with open(path, encoding="utf-8") as fh:
-        lines = [json.loads(line) for line in fh if line.strip()]
-    if not lines or lines[0].get("schema") != BLAME_SCHEMA:
-        raise ValueError(f"{path}: not a {BLAME_SCHEMA} file")
-    log = BlameLog(header=lines[0])
-    for rec in lines[1:]:
-        kind = rec.get("type")
-        if kind == "resource":
-            log.resources.append(rec)
-        elif kind == "footer":
-            log.footer = rec
-        else:
-            log.records.append(rec)
+    """Parse a blame JSONL file (see :data:`BLAME_SCHEMA`).
+
+    When the stream was rotated (``open_stream(max_records=...)``), the
+    previous generation lives at ``<path>.1``; it is read first so the
+    returned records stay in emission order across the rotation.
+    """
+    rotated = str(path) + ".1"
+    paths = ([rotated] if os.path.exists(rotated) else []) + [path]
+    log = None
+    torn_total = 0
+    for part in paths:
+        records, torn = read_jsonl(part)
+        torn_total += torn
+        lines = [rec for _, rec in records]
+        if not lines or lines[0].get("schema") != BLAME_SCHEMA:
+            raise ValueError(f"{part}: not a {BLAME_SCHEMA} file")
+        if log is None:
+            log = BlameLog(header=lines[0])
+        for rec in lines[1:]:
+            kind = rec.get("type")
+            if kind == "resource":
+                log.resources.append(rec)
+            elif kind == "footer":
+                log.footer = rec
+            else:
+                log.records.append(rec)
+    log.torn_tail = torn_total
     return log
 
 
@@ -387,6 +436,29 @@ class QueryBlame:
     def residual_us(self) -> float:
         """Unattributed time; zero up to float rounding by construction."""
         return self.total_us - self.components_us
+
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "name": self.name,
+            "qid": self.qid,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "admission_wait_us": self.admission_wait_us,
+            "wait_us": self.wait_us,
+            "service_us": self.service_us,
+            "straggler": self.straggler,
+            "total_us": self.total_us,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QueryBlame":
+        return cls(task=d["task"], name=d["name"], qid=d.get("qid"),
+                   start_us=d["start_us"], end_us=d["end_us"],
+                   admission_wait_us=d["admission_wait_us"],
+                   wait_us=dict(d.get("wait_us", {})),
+                   service_us=dict(d.get("service_us", {})),
+                   straggler=d.get("straggler"))
 
 
 class _Index:

@@ -10,6 +10,8 @@ A telemetry directory (``repro run --telemetry DIR``) holds::
                     attached; schema repro.obs.timeline/v1)
     blame.jsonl     per-request kernel blame records (present for runs
                     under the concurrency kernel; repro.obs.blame/v1)
+    incident-<n>/   flight-recorder incident bundles (present when the
+                    recorder triggered; schema repro.obs.incident/v1)
 
 :func:`validate_telemetry_dir` is the schema check used by both the CI
 smoke job and ``repro report``.
@@ -215,6 +217,11 @@ def write_telemetry_dir(telemetry, out_dir) -> dict:
     if blame is not None:
         summary["blame_records"] = blame.export_jsonl(
             os.path.join(out_dir, "blame.jsonl"))
+    flight = getattr(telemetry, "flight", None)
+    if flight is not None:
+        # After the timeline export above: finishing the timeline closes
+        # the final window, whose callbacks may open/extend an incident.
+        summary["incidents"] = flight.finish()
     return summary
 
 
@@ -230,18 +237,19 @@ def validate_telemetry_dir(out_dir) -> dict:
         if not os.path.exists(path):
             raise ValueError(f"missing telemetry file: {path}")
 
+    from repro.obs._jsonl import read_jsonl
+
+    span_records, torn = read_jsonl(spans_path)
     n_spans = 0
-    with open(spans_path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            span = json.loads(line)
-            missing = _SPAN_FIELDS - span.keys()
-            if missing:
-                raise ValueError(
-                    f"{spans_path}:{lineno}: span missing fields {sorted(missing)}"
-                )
-            if span["end_us"] < span["start_us"]:
-                raise ValueError(f"{spans_path}:{lineno}: span ends before it starts")
-            n_spans += 1
+    for lineno, span in span_records:
+        missing = _SPAN_FIELDS - span.keys()
+        if missing:
+            raise ValueError(
+                f"{spans_path}:{lineno}: span missing fields {sorted(missing)}"
+            )
+        if span["end_us"] < span["start_us"]:
+            raise ValueError(f"{spans_path}:{lineno}: span ends before it starts")
+        n_spans += 1
     if n_spans == 0:
         raise ValueError(f"{spans_path}: no spans recorded")
 
@@ -275,4 +283,13 @@ def validate_telemetry_dir(out_dir) -> dict:
 
         counts["blame_records"] = sum(validate_blame_jsonl(blame_path)
                                       .values())
+    if torn:
+        counts["torn_tail"] = torn
+    from repro.obs.flightrecorder import list_incidents, validate_incident_dir
+
+    incident_dirs = list_incidents(out_dir)
+    if incident_dirs:
+        for inc_dir in incident_dirs:
+            validate_incident_dir(inc_dir)
+        counts["incidents"] = len(incident_dirs)
     return counts

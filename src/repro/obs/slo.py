@@ -26,9 +26,10 @@ windowed series diverging from the fleet's).
 from __future__ import annotations
 
 import re
+from collections import deque
 from dataclasses import dataclass
 
-from repro.obs.timeline import window_series
+from repro.obs.timeline import derive_window, window_series
 
 __all__ = [
     "SloSpec",
@@ -44,6 +45,14 @@ __all__ = [
     "detect_shard_skew",
     "run_detectors",
     "DEFAULT_SLOS",
+    "window_point",
+    "StreamingHitRatioDrift",
+    "StreamingWriteAmpSpike",
+    "StreamingQueueBuildup",
+    "StreamingWaitDominated",
+    "StreamingDetectors",
+    "StreamingShardSkew",
+    "StreamingSloEvaluator",
 ]
 
 _SLO_RE = re.compile(
@@ -91,6 +100,18 @@ class SloResult:
         if self.windows_evaluated == 0:
             return 0.0
         return self.windows_passed / self.windows_evaluated
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.spec.text,
+            "series": self.spec.series,
+            "verdict": self.verdict,
+            "windows_evaluated": self.windows_evaluated,
+            "windows_passed": self.windows_passed,
+            "fraction": self.fraction,
+            "worst_window": self.worst_window,
+            "worst_value": self.worst_value,
+        }
 
     def format(self) -> str:
         if self.verdict == "no-data":
@@ -181,6 +202,10 @@ class Anomaly:
 
     def format(self) -> str:
         return f"[{self.severity}] {self.detector} @ window {self.window}: {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {"detector": self.detector, "window": self.window,
+                "severity": self.severity, "detail": self.detail}
 
 
 def detect_hit_ratio_drift(windows, k: int = 5,
@@ -314,3 +339,278 @@ def detect_shard_skew(shard_windows: dict, series: str = "hit_ratio",
                 f"shard {sid} mean {series} {m:.3f} vs fleet "
                 f"median {fleet:.3f} ({(m - fleet) / fleet:+.0%})"))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Streaming (incremental) evaluation
+# ---------------------------------------------------------------------------
+#
+# Each streaming class replicates its post-hoc counterpart's state
+# machine point for point — same trailing structures, same comparison
+# order, same detail formatting — so feeding every closed window through
+# a streaming instance yields the *identical* anomaly/verdict list that
+# the batch function produces over the saved file.  That agreement is
+# what lets the flight recorder trigger in-run on the very verdicts CI
+# later re-derives post-hoc (property-tested in
+# tests/test_obs_slo_streaming.py).
+
+def window_point(rec: dict, series: str) -> tuple[int, float] | None:
+    """The single-record mirror of :func:`~repro.obs.timeline.window_series`.
+
+    Returns ``(window, value)`` for one window record, falling back to
+    raw counters/gauges when ``series`` is not a derived one; None when
+    the record carries no data for the series.
+    """
+    if rec.get("type", "window") != "window":
+        return None
+    derived = rec.get("derived") or derive_window(rec)
+    v = derived.get(series)
+    if v is None:
+        for mapping in (rec.get("counters", {}), rec.get("gauges", {})):
+            if series in mapping:
+                v = mapping[series]
+                break
+    if v is None:
+        return None
+    return rec["window"], v
+
+
+class StreamingHitRatioDrift:
+    """Incremental :func:`detect_hit_ratio_drift`."""
+
+    name = "hit_ratio_drift"
+
+    def __init__(self, k: int = 5, drop: float = 0.15) -> None:
+        self.k = k
+        self.drop = drop
+        self._trail: deque[float] = deque(maxlen=k)
+
+    def update(self, rec: dict) -> list[Anomaly]:
+        pt = window_point(rec, "hit_ratio")
+        if pt is None:
+            return []
+        w, v = pt
+        out = []
+        if len(self._trail) == self.k:
+            trail = sum(self._trail) / self.k
+            if trail - v >= self.drop:
+                out.append(Anomaly(
+                    self.name, w, "warn",
+                    f"hit ratio {v:.3f} dropped {trail - v:.3f} below "
+                    f"trailing-{self.k} mean {trail:.3f}"))
+        self._trail.append(v)
+        return out
+
+
+class StreamingWriteAmpSpike:
+    """Incremental :func:`detect_write_amp_spike`."""
+
+    name = "write_amp_spike"
+
+    def __init__(self, factor: float = 2.0, min_wa: float = 1.5) -> None:
+        self.factor = factor
+        self.min_wa = min_wa
+        self._trail: deque[float] = deque(maxlen=5)
+
+    def update(self, rec: dict) -> list[Anomaly]:
+        pt = window_point(rec, "write_amp")
+        if pt is None:
+            return []
+        w, v = pt
+        out = []
+        if self._trail:
+            trail = sorted(self._trail)
+            median = trail[len(trail) // 2]
+            if v >= self.min_wa and median > 0 and v >= self.factor * median:
+                out.append(Anomaly(
+                    self.name, w, "critical",
+                    f"write amp {v:.2f} is {v / median:.1f}x trailing "
+                    f"median {median:.2f}"))
+        self._trail.append(v)
+        return out
+
+
+class StreamingQueueBuildup:
+    """Incremental :func:`detect_queue_buildup`."""
+
+    name = "queue_buildup"
+
+    def __init__(self, k: int = 3, critical_k: int = 6) -> None:
+        self.k = k
+        self.critical_k = critical_k
+        self._prev: float | None = None
+        self._run = 0
+
+    def update(self, rec: dict) -> list[Anomaly]:
+        pt = window_point(rec, "queue_depth")
+        if pt is None:
+            return []
+        w, v = pt
+        out = []
+        if self._prev is not None:
+            if v > self._prev:
+                self._run += 1
+                if self._run >= self.k:
+                    severity = ("critical" if self._run >= self.critical_k
+                                else "warn")
+                    out.append(Anomaly(
+                        self.name, w, severity,
+                        f"queue depth rose {self._run} windows in a row "
+                        f"to {v:g}"))
+            else:
+                self._run = 0
+        self._prev = v
+        return out
+
+
+class StreamingWaitDominated:
+    """Incremental :func:`detect_wait_dominated`."""
+
+    name = "wait_dominated"
+
+    def __init__(self, frac: float = 0.75, k: int = 4,
+                 critical_frac: float = 0.95, critical_k: int = 8) -> None:
+        self.frac = frac
+        self.k = k
+        self.critical_frac = critical_frac
+        self.critical_k = critical_k
+        self._warn_run = 0
+        self._crit_run = 0
+
+    def update(self, rec: dict) -> list[Anomaly]:
+        pt = window_point(rec, "wait_fraction")
+        if pt is None:
+            return []
+        w, v = pt
+        self._warn_run = self._warn_run + 1 if v >= self.frac else 0
+        self._crit_run = (self._crit_run + 1 if v >= self.critical_frac
+                          else 0)
+        out = []
+        if self._crit_run >= self.critical_k:
+            out.append(Anomaly(
+                self.name, w, "critical",
+                f"wait fraction >= {self.critical_frac:.0%} for "
+                f"{self._crit_run} windows (now {v:.1%})"))
+        elif self._warn_run >= self.k:
+            out.append(Anomaly(
+                self.name, w, "warn",
+                f"wait fraction >= {self.frac:.0%} for {self._warn_run} "
+                f"windows (now {v:.1%})"))
+        return out
+
+
+class StreamingDetectors:
+    """All single-run detectors, fed one closed window at a time.
+
+    :meth:`update` returns the anomalies this window produced (sorted
+    the way :func:`run_detectors` sorts) and accumulates them on
+    :attr:`anomalies` — because window indices strictly increase, the
+    accumulated list is ordered exactly as the post-hoc
+    ``run_detectors`` output over the same windows.
+    """
+
+    def __init__(self) -> None:
+        self.detectors = [
+            StreamingHitRatioDrift(),
+            StreamingWriteAmpSpike(),
+            StreamingQueueBuildup(),
+            StreamingWaitDominated(),
+        ]
+        self.anomalies: list[Anomaly] = []
+
+    def update(self, rec: dict) -> list[Anomaly]:
+        batch: list[Anomaly] = []
+        for det in self.detectors:
+            batch.extend(det.update(rec))
+        batch.sort(key=lambda a: (a.window, a.detector))
+        self.anomalies.extend(batch)
+        return batch
+
+
+class StreamingShardSkew:
+    """Incremental :func:`detect_shard_skew` over per-shard window feeds.
+
+    Feed every shard's closed windows through :meth:`update`; the
+    running per-shard sums accumulate in the same order the batch
+    detector's ``window_series`` pass would visit them, so
+    :meth:`anomalies` is float-for-float identical to
+    ``detect_shard_skew`` over the full per-shard window lists.
+    """
+
+    def __init__(self, series: str = "hit_ratio",
+                 rel_tol: float = 0.25) -> None:
+        self.series = series
+        self.rel_tol = rel_tol
+        self._sums: dict = {}
+
+    def update(self, shard_id, rec: dict) -> None:
+        pt = window_point(rec, self.series)
+        if pt is None:
+            return
+        acc = self._sums.get(shard_id)
+        if acc is None:
+            acc = self._sums[shard_id] = [0.0, 0]
+        acc[0] += pt[1]
+        acc[1] += 1
+
+    def anomalies(self) -> list[Anomaly]:
+        means = {sid: s / n for sid, (s, n) in self._sums.items() if n}
+        if len(means) < 2:
+            return []
+        ranked = sorted(means.values())
+        mid = len(ranked) // 2
+        fleet = (ranked[mid] if len(ranked) % 2
+                 else (ranked[mid - 1] + ranked[mid]) / 2.0)
+        out = []
+        for sid, m in sorted(means.items()):
+            if fleet != 0 and abs(m - fleet) / abs(fleet) > self.rel_tol:
+                out.append(Anomaly(
+                    "shard_skew", -1, "warn",
+                    f"shard {sid} mean {self.series} {m:.3f} vs fleet "
+                    f"median {fleet:.3f} ({(m - fleet) / fleet:+.0%})"))
+        return out
+
+
+class StreamingSloEvaluator:
+    """Incremental :func:`evaluate_slos`: one window at a time.
+
+    :meth:`results` at any point equals ``evaluate_slos(specs,
+    windows_so_far)`` — same pass counts, same worst-window selection
+    (first value farthest past the threshold wins ties), same verdicts.
+    """
+
+    def __init__(self, specs) -> None:
+        self.specs = [parse_slo(s) if isinstance(s, str) else s
+                      for s in specs]
+        self._state = [{"evaluated": 0, "passed": 0,
+                        "worst_window": None, "worst_value": None}
+                       for _ in self.specs]
+
+    def update(self, rec: dict) -> None:
+        for spec, st in zip(self.specs, self._state):
+            pt = window_point(rec, spec.series)
+            if pt is None:
+                continue
+            w, v = pt
+            st["evaluated"] += 1
+            if spec.check(v):
+                st["passed"] += 1
+            else:
+                miss = abs(v - spec.threshold)
+                if (st["worst_value"] is None
+                        or miss > abs(st["worst_value"] - spec.threshold)):
+                    st["worst_window"], st["worst_value"] = w, v
+
+    def results(self) -> list[SloResult]:
+        out = []
+        for spec, st in zip(self.specs, self._state):
+            if st["evaluated"] == 0:
+                out.append(SloResult(spec, 0, 0, "no-data"))
+                continue
+            verdict = ("met" if st["passed"] / st["evaluated"]
+                       >= spec.min_fraction else "violated")
+            out.append(SloResult(
+                spec, st["evaluated"], st["passed"], verdict,
+                worst_window=st["worst_window"],
+                worst_value=st["worst_value"]))
+        return out

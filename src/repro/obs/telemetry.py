@@ -80,6 +80,10 @@ class Telemetry:
         self._exemplar_hists: set[int] = set()
         self.blame = None
         self._blame_stream_path: str | None = None
+        self._blame_stream_max: int | None = None
+        #: the armed :class:`~repro.obs.flightrecorder.FlightRecorder`,
+        #: if any — flushed by close()/write_telemetry_dir.
+        self.flight = None
         # Hot-path instrument caches: record_query runs once per query,
         # so channel->stage mapping and the per-stage / per-situation
         # instruments are resolved once and reused instead of going
@@ -101,13 +105,15 @@ class Telemetry:
 
     def attach_timeline(self, window_us: float = 50_000.0,
                         stream_path=None, exemplar_q: float = 99.0,
-                        retain: int = 4096) -> TimelineRecorder:
+                        retain: int = 4096,
+                        max_windows: int | None = None) -> TimelineRecorder:
         """Attach a windowed recorder (and tail-exemplar capture).
 
         ``window_us`` is the fixed window width on the virtual clock;
         ``stream_path`` turns on streaming (each window written to
         ``timeline.jsonl`` the moment it closes); ``exemplar_q`` is the
-        percentile above which query-latency samples capture exemplars.
+        percentile above which query-latency samples capture exemplars;
+        ``max_windows`` caps the streamed file's growth by rotation.
         Call before the run starts; the manager ticks the recorder once
         per query.
         """
@@ -119,7 +125,7 @@ class Telemetry:
             collect=self.collect, exemplars=self.exemplars,
         )
         if stream_path is not None:
-            self.timeline.open_stream(stream_path)
+            self.timeline.open_stream(stream_path, max_windows=max_windows)
         return self.timeline
 
     def observe_stats(self, stats) -> CacheStatsMetrics:
@@ -161,19 +167,23 @@ class Telemetry:
 
             self.blame = BlameRecorder(registry=self.registry)
             if self._blame_stream_path is not None:
-                self.blame.open_stream(self._blame_stream_path)
+                self.blame.open_stream(self._blame_stream_path,
+                                       max_records=self._blame_stream_max)
         self.blame.attach(kernel, admission=admission)
         return bridge
 
-    def stream_blame(self, path: str) -> None:
+    def stream_blame(self, path: str,
+                     max_records: int | None = None) -> None:
         """Stream blame records to ``path`` as they are emitted.
 
         May be called before any kernel exists; the stream opens as soon
-        as :meth:`observe_kernel` creates the recorder.
+        as :meth:`observe_kernel` creates the recorder.  ``max_records``
+        caps the streamed file's growth by rotation.
         """
         self._blame_stream_path = path
+        self._blame_stream_max = max_records
         if self.blame is not None:
-            self.blame.open_stream(path)
+            self.blame.open_stream(path, max_records=max_records)
 
     def observe_flash(self, ssd, endurance_cycles: int = 5000):
         """Register a flash device for wear/GC/WA collection.
@@ -306,5 +316,9 @@ class Telemetry:
             self.timeline.finish()
         if self.blame is not None:
             self.blame.finish()
+        if self.flight is not None:
+            # After timeline.finish() so the final window's callbacks
+            # have fired before any open incident is flushed.
+            self.flight.finish()
         self.audit.close()
         self.tracer.close_stream()

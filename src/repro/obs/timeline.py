@@ -57,9 +57,11 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs._jsonl import read_jsonl
 from repro.obs.instruments import Histogram
 from repro.obs.registry import MetricsRegistry
 
@@ -237,6 +239,10 @@ class TimelineRecorder:
         self._finished = False
         self._stream = None
         self._stream_path = None
+        self._max_stream_windows = None
+        self._stream_windows = 0
+        self._rotations = 0
+        self._callbacks: list = []
         self._last_counters: dict[str, float] = {}
         self._last_gauges: dict[str, float] = {}
         self._last_hists: dict[str, tuple[int, float]] = {}
@@ -251,10 +257,21 @@ class TimelineRecorder:
     def streaming(self) -> bool:
         return self._stream_path is not None
 
-    def open_stream(self, path) -> None:
-        """Write windows to ``path`` as they close (header first)."""
+    def open_stream(self, path, max_windows: int | None = None) -> None:
+        """Write windows to ``path`` as they close (header first).
+
+        ``max_windows`` bounds on-disk growth for long live runs: once
+        that many windows sit in the file, it is rotated to
+        ``<path>.1`` (replacing any previous rotation) and the stream
+        continues in a fresh file, so at most two generations — about
+        ``2 * max_windows`` windows — are ever on disk.
+        :func:`load_timeline_jsonl` reads the rotation back in order.
+        """
         if self._stream is not None:
             raise RuntimeError("timeline is already streaming")
+        if max_windows is not None and max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        self._max_stream_windows = max_windows
         self._stream = open(path, "w")
         self._stream_path = path
         self._stream.write(json.dumps({
@@ -264,7 +281,41 @@ class TimelineRecorder:
         for rec in self.windows:
             if "derived" not in rec:
                 rec["derived"] = derive_window(rec)
-            self._stream.write(json.dumps(rec) + "\n")
+            self._write_stream(rec)
+
+    def _write_stream(self, rec: dict) -> None:
+        self._stream.write(json.dumps(rec) + "\n")
+        self._stream_windows += 1
+        if (self._max_stream_windows is not None
+                and self._stream_windows >= self._max_stream_windows):
+            self._rotate_stream()
+
+    def _rotate_stream(self) -> None:
+        self._stream.close()
+        os.replace(self._stream_path, str(self._stream_path) + ".1")
+        self._rotations += 1
+        self._stream = open(self._stream_path, "w")
+        self._stream.write(json.dumps({
+            "type": "header", "schema": TIMELINE_SCHEMA,
+            "window_us": self.window_us, "continuation": True,
+            "rotation": self._rotations,
+        }) + "\n")
+        self._stream_windows = 0
+
+    # -- window callbacks ----------------------------------------------------
+
+    def add_window_callback(self, fn) -> None:
+        """Call ``fn(record)`` the moment each non-sparse window closes.
+
+        This is the incremental seam the streaming SLO evaluator and the
+        flight recorder hang off: the record passed is the exact dict
+        that lands in :attr:`windows` (and on disk when streaming),
+        ``derived`` block included, so per-window verdicts computed in
+        the callback provably agree with post-hoc evaluation over the
+        saved file.  Callbacks observe — mutating the record corrupts
+        the stream.
+        """
+        self._callbacks.append(fn)
 
     # -- recording -----------------------------------------------------------
 
@@ -299,6 +350,8 @@ class TimelineRecorder:
     def _footer(self) -> dict:
         out = {"type": "footer", "windows": self.emitted,
                "dropped_windows": self.dropped_windows}
+        if self._rotations:
+            out["rotated"] = self._rotations
         if self.exemplars is not None:
             out["exemplars"] = len(self.exemplars.exemplars)
             out["dropped_exemplars"] = self.exemplars.dropped
@@ -349,18 +402,21 @@ class TimelineRecorder:
             "gauges": gauges,
             "histograms": hists,
         }
-        if self._stream is not None:
-            # Streamed records leave the process now, so they must carry
-            # their derived block; retained records defer derivation to
-            # finish() — pure post-processing of the window's own deltas,
-            # with no reason to bill it to the serving loop.
+        if self._stream is not None or self._callbacks:
+            # Streamed records leave the process now (and callbacks see
+            # them now), so they must carry their derived block; retained
+            # records defer derivation to finish() — pure post-processing
+            # of the window's own deltas, with no reason to bill it to
+            # the serving loop.
             rec["derived"] = derive_window(rec)
         self.emitted += 1
         if len(self.windows) == self.windows.maxlen:
             self.dropped_windows += 1
         self.windows.append(rec)
         if self._stream is not None:
-            self._stream.write(json.dumps(rec) + "\n")
+            self._write_stream(rec)
+        for cb in self._callbacks:
+            cb(rec)
 
     # -- export --------------------------------------------------------------
 
@@ -570,12 +626,17 @@ def steady_state_window(windows, series: str = "hit_ratio", k: int = 5,
 
 @dataclass
 class Timeline:
-    """A parsed ``timeline.jsonl``: header + windows + exemplars."""
+    """A parsed ``timeline.jsonl``: header + windows + exemplars.
+
+    ``torn_tail`` counts records lost to a mid-write cut (a live run
+    killed mid-line); the loaders skip such a tail rather than raise.
+    """
 
     window_us: float
     windows: list[dict]
     exemplars: list[dict]
     footer: dict | None = None
+    torn_tail: int = 0
 
     def series(self, name: str) -> list[tuple[int, float]]:
         return window_series(self.windows, name)
@@ -585,48 +646,68 @@ class Timeline:
 
 
 def load_timeline_jsonl(path) -> Timeline:
-    """Load and schema-check a timeline file."""
+    """Load and schema-check a timeline file.
+
+    When the stream was rotated (``open_stream(max_windows=...)``), the
+    previous generation lives at ``<path>.1``; it is read first so the
+    returned windows stay in order across the rotation boundary.
+    """
     windows: list[dict] = []
     exemplars: list[dict] = []
     footer = None
     window_us = None
-    with open(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            rec = json.loads(line)
+    torn_total = 0
+    rotated = str(path) + ".1"
+    paths = ([rotated] if os.path.exists(rotated) else []) + [path]
+    for part in paths:
+        records, torn = read_jsonl(part)
+        torn_total += torn
+        if not records:
+            raise ValueError(f"{part}: empty timeline file")
+        for pos, (lineno, rec) in enumerate(records):
             kind = rec.get("type")
-            if lineno == 1:
+            if pos == 0:
                 if kind != "header" or rec.get("schema") != TIMELINE_SCHEMA:
                     raise ValueError(
-                        f"{path}:1: not a {TIMELINE_SCHEMA} header")
-                window_us = rec["window_us"]
+                        f"{part}:{lineno}: not a {TIMELINE_SCHEMA} header")
+                if window_us is None:
+                    window_us = rec["window_us"]
+                elif rec["window_us"] != window_us:
+                    raise ValueError(
+                        f"{part}:{lineno}: window_us changed across "
+                        f"rotation")
+            elif kind == "header":
+                raise ValueError(
+                    f"{part}:{lineno}: header after the first record")
             elif kind == "window":
                 for fld in ("window", "start_us", "end_us", "counters",
                             "gauges", "histograms"):
                     if fld not in rec:
                         raise ValueError(
-                            f"{path}:{lineno}: window missing {fld!r}")
+                            f"{part}:{lineno}: window missing {fld!r}")
                 if rec["end_us"] <= rec["start_us"]:
                     raise ValueError(
-                        f"{path}:{lineno}: window ends before it starts")
+                        f"{part}:{lineno}: window ends before it starts")
                 if windows and rec["window"] <= windows[-1]["window"]:
                     raise ValueError(
-                        f"{path}:{lineno}: window indices must increase")
+                        f"{part}:{lineno}: window indices must increase")
                 windows.append(rec)
             elif kind == "exemplar":
                 for fld in ("metric", "value_us", "window"):
                     if fld not in rec:
                         raise ValueError(
-                            f"{path}:{lineno}: exemplar missing {fld!r}")
+                            f"{part}:{lineno}: exemplar missing {fld!r}")
                 exemplars.append(rec)
             elif kind == "footer":
                 footer = rec
             else:
                 raise ValueError(
-                    f"{path}:{lineno}: unknown record type {kind!r}")
+                    f"{part}:{lineno}: unknown record type {kind!r}")
     if window_us is None:
         raise ValueError(f"{path}: empty timeline file")
     return Timeline(window_us=window_us, windows=windows,
-                    exemplars=exemplars, footer=footer)
+                    exemplars=exemplars, footer=footer,
+                    torn_tail=torn_total)
 
 
 def validate_timeline_jsonl(path) -> dict:
@@ -634,10 +715,20 @@ def validate_timeline_jsonl(path) -> dict:
     tl = load_timeline_jsonl(path)
     if not tl.windows:
         raise ValueError(f"{path}: no windows recorded")
-    if tl.footer is not None and tl.footer.get("windows") != len(tl.windows):
-        raise ValueError(
-            f"{path}: footer claims {tl.footer.get('windows')} windows, "
-            f"file holds {len(tl.windows)}")
+    if tl.footer is not None:
+        claimed = tl.footer.get("windows")
+        if tl.footer.get("rotated") or tl.torn_tail:
+            # Rotation discards generations before <path>.1 and a torn
+            # tail loses its record, so the file can hold fewer windows
+            # than the run emitted — never more.
+            if claimed is not None and len(tl.windows) > claimed:
+                raise ValueError(
+                    f"{path}: footer claims {claimed} windows, file "
+                    f"holds {len(tl.windows)}")
+        elif claimed != len(tl.windows):
+            raise ValueError(
+                f"{path}: footer claims {claimed} windows, "
+                f"file holds {len(tl.windows)}")
     for rec in tl.windows:
         for key, v in rec["counters"].items():
             if v < 0:
@@ -649,7 +740,10 @@ def validate_timeline_jsonl(path) -> dict:
                 raise ValueError(
                     f"{path}: sub-histogram {key} count mismatch in window "
                     f"{rec['window']}")
-    return {"windows": len(tl.windows), "exemplars": len(tl.exemplars)}
+    counts = {"windows": len(tl.windows), "exemplars": len(tl.exemplars)}
+    if tl.torn_tail:
+        counts["torn_tail"] = tl.torn_tail
+    return counts
 
 
 # ---------------------------------------------------------------------------

@@ -23,7 +23,10 @@ import json
 import os
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+from repro.obs._jsonl import read_jsonl
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
+           "load_spans_jsonl"]
 
 
 @dataclass
@@ -111,6 +114,10 @@ class Tracer:
         self.max_spans = max_spans
         self.spans: list[Span] = []
         self.dropped = 0
+        #: optional callable fed every finished span *before* storage or
+        #: streaming — the flight recorder's ring hangs off this, so it
+        #: sees spans even when streaming mode retains nothing.
+        self.span_sink = None
         self._stack: list[int] = []
         self._next_id = 1
         self._stream = None
@@ -135,6 +142,9 @@ class Tracer:
         ))
 
     def _append(self, span: Span) -> None:
+        sink = self.span_sink
+        if sink is not None:
+            sink(span)
         if self._stream is not None:
             self._stream.write(json.dumps(span.to_dict()) + "\n")
             self._streamed += 1
@@ -223,6 +233,7 @@ class NullTracer:
     dropped = 0
     streaming = False
     span_count = 0
+    span_sink = None
 
     def span(self, name: str, **attrs):
         return self._SPAN
@@ -242,3 +253,13 @@ class NullTracer:
 #: Shared do-nothing tracer; components default to this so tracing costs
 #: one attribute access when disabled.
 NULL_TRACER = NullTracer()
+
+
+def load_spans_jsonl(path) -> tuple[list[dict], int]:
+    """Load a ``spans.jsonl`` file; returns ``(spans, torn_tail)``.
+
+    A torn final line (a live run cut mid-write) is skipped and counted
+    rather than raised.
+    """
+    records, torn = read_jsonl(path)
+    return [rec for _, rec in records], torn

@@ -208,9 +208,11 @@ def test_explain_command_unknown_subject_exits_nonzero(tmp_path, capsys):
     assert "no records" in out
 
 
-def test_explain_command_requires_audit_file(tmp_path):
-    with pytest.raises(SystemExit):
-        main(["explain", str(tmp_path), "--term", "1"])
+def test_explain_command_requires_audit_file(tmp_path, capsys):
+    rc = main(["explain", str(tmp_path), "--term", "1"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "no audit trail" in err
 
 
 def _run_with_timeline(tmp_path, queries="400"):
